@@ -1,0 +1,39 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper at a reduced
+scale (so the whole suite finishes in minutes on a laptop) and attaches the
+headline numbers to ``benchmark.extra_info`` so they appear in the
+pytest-benchmark report next to the timing.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """Scale shared by the trace-driven figure benchmarks."""
+    return ExperimentScale(
+        requests_per_trace=96,
+        requests_per_point=16,
+        num_chips=64,
+        traces=("cfs0", "cfs3", "msnfs1", "proj0"),
+        seed=7,
+    )
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,86 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These go beyond the paper's figures: they quantify how much each Sprinkler
+design decision contributes by toggling it while keeping everything else
+fixed.
+
+* FARO over-commitment depth (full over-commitment vs committing one request
+  per chip visit).
+* RIOS traversal order (channel-striped as the paper argues, vs the
+  channel-first order it warns against).
+* Device-queue depth sensitivity (Sprinkler needs queued work to sprinkle).
+"""
+
+from repro.experiments.runner import clone_workload
+from repro.sim.config import SimulationConfig
+from repro.sim.ssd import SSDSimulator
+from repro.workloads.datacenter import generate_datacenter_trace
+
+KB = 1024
+
+
+def _trace(num_requests=96):
+    return generate_datacenter_trace("cfs3", num_requests=num_requests, seed=13)
+
+
+def _run(config, scheduler, workload, options=None):
+    simulator = SSDSimulator(config, scheduler, scheduler_options=options)
+    return simulator.run(clone_workload(workload), workload_name="ablation")
+
+
+def test_bench_ablation_faro_overcommit(benchmark, run_once):
+    """FARO over-commitment vs one-request-per-visit commitment."""
+    config = SimulationConfig.paper_scale(64)
+    workload = _trace()
+
+    def run():
+        full = _run(config, "SPK3", workload)
+        shallow = _run(config, "SPK3", workload, options={"overcommit_limit": 1})
+        return full, shallow
+
+    full, shallow = run_once(run)
+    assert full.coalescing_degree >= shallow.coalescing_degree
+    benchmark.extra_info["coalescing_full_overcommit"] = round(full.coalescing_degree, 2)
+    benchmark.extra_info["coalescing_limit_1"] = round(shallow.coalescing_degree, 2)
+    benchmark.extra_info["bandwidth_ratio_full_vs_limit1"] = round(
+        full.bandwidth_kb_s / max(1.0, shallow.bandwidth_kb_s), 2
+    )
+
+
+def test_bench_ablation_rios_traversal(benchmark, run_once):
+    """Channel-striped traversal (paper) vs channel-first traversal."""
+    config = SimulationConfig.paper_scale(64)
+    workload = _trace()
+
+    def run():
+        striped = _run(config, "SPK3", workload)
+        channel_first = _run(config, "SPK3", workload, options={"channel_first_traversal": True})
+        return striped, channel_first
+
+    striped, channel_first = run_once(run)
+    # The channel-striped order should never be meaningfully worse: it spreads
+    # consecutive commitments over different channels.
+    assert striped.bandwidth_kb_s >= 0.9 * channel_first.bandwidth_kb_s
+    benchmark.extra_info["bandwidth_striped_kb_s"] = round(striped.bandwidth_kb_s, 1)
+    benchmark.extra_info["bandwidth_channel_first_kb_s"] = round(channel_first.bandwidth_kb_s, 1)
+
+
+def test_bench_ablation_queue_depth(benchmark, run_once):
+    """Sprinkler's gains grow with the amount of queued work it can sprinkle."""
+    workload = _trace()
+
+    def run():
+        results = {}
+        for depth in (4, 64):
+            config = SimulationConfig.paper_scale(64).with_overrides(queue_depth=depth)
+            results[depth] = _run(config, "SPK3", workload)
+        return results
+
+    results = run_once(run)
+    assert results[64].bandwidth_kb_s >= results[4].bandwidth_kb_s * 0.9
+    benchmark.extra_info["bandwidth_by_queue_depth_kb_s"] = {
+        depth: round(result.bandwidth_kb_s, 1) for depth, result in results.items()
+    }
+    benchmark.extra_info["queue_stall_ns_by_depth"] = {
+        depth: result.queue_stall_time_ns for depth, result in results.items()
+    }

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 1 - many-chip scaling of a conventional controller."""
+
+from repro.experiments import figure01
+
+
+def test_bench_figure01(benchmark, run_once):
+    rows = run_once(
+        figure01.run_figure01,
+        die_counts=(16, 64, 256),
+        transfer_sizes_kb=(4, 64),
+        requests_per_point=16,
+    )
+    summary = figure01.stagnation_summary(rows)
+    # Shape check: 16x more dies must buy far less than 16x bandwidth.
+    assert all(gain < 16.0 for gain in summary.values())
+    largest = max(row["num_dies"] for row in rows)
+    smallest = min(row["num_dies"] for row in rows)
+    big = [row for row in rows if row["num_dies"] == largest]
+    small = [row for row in rows if row["num_dies"] == smallest]
+    assert max(row["chip_utilization_pct"] for row in big) < max(
+        row["chip_utilization_pct"] for row in small
+    )
+    benchmark.extra_info["bandwidth_gain_per_transfer_size"] = summary
+    benchmark.extra_info["utilization_pct_smallest_vs_largest"] = {
+        "smallest": small[0]["chip_utilization_pct"],
+        "largest": big[0]["chip_utilization_pct"],
+    }

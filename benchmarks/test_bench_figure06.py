@@ -1,0 +1,15 @@
+"""Benchmark: Figure 6 - chip utilisation and improvement potential."""
+
+from repro.experiments import figure06
+
+
+def test_bench_figure06(benchmark, run_once, bench_scale):
+    rows = run_once(figure06.run_figure06, scale=bench_scale)
+    averages = figure06.averages(rows)
+    # Paper shape: potential (Sprinkler) utilisation well above VAS and PAS.
+    assert averages["utilization_potential_pct"] > averages["utilization_pas_pct"]
+    assert averages["utilization_potential_pct"] > averages["utilization_vas_pct"]
+    benchmark.extra_info["average_utilization_pct"] = averages
+    benchmark.extra_info["improvement_over_vas_x"] = round(
+        averages["utilization_potential_pct"] / max(0.1, averages["utilization_vas_pct"]), 2
+    )

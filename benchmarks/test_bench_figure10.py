@@ -1,0 +1,19 @@
+"""Benchmark: Figure 10 - bandwidth, IOPS, latency, queue stall for all schedulers."""
+
+import statistics
+
+from repro.experiments import figure10
+
+
+def test_bench_figure10(benchmark, run_once, bench_scale):
+    rows = run_once(figure10.run_figure10, scale=bench_scale)
+    speedup_vs_vas = figure10.speedups_over(rows, "VAS", "SPK3")
+    speedup_vs_pas = figure10.speedups_over(rows, "PAS", "SPK3")
+    latency_cut = figure10.latency_reduction(rows, "VAS", "SPK3")
+    # Paper shape: SPK3 comfortably above both baselines on every trace.
+    assert all(ratio > 1.0 for ratio in speedup_vs_vas.values())
+    assert all(ratio >= 1.0 for ratio in speedup_vs_pas.values())
+    assert statistics.mean(latency_cut.values()) > 0.2
+    benchmark.extra_info["spk3_bandwidth_over_vas"] = speedup_vs_vas
+    benchmark.extra_info["spk3_bandwidth_over_pas"] = speedup_vs_pas
+    benchmark.extra_info["spk3_latency_reduction_vs_vas"] = latency_cut

@@ -1,0 +1,19 @@
+"""Benchmark: Figure 11 - inter-chip and intra-chip idleness."""
+
+from repro.experiments import figure11
+
+
+def test_bench_figure11(benchmark, run_once, bench_scale):
+    rows = run_once(figure11.run_figure11, scale=bench_scale)
+    inter_reduction = figure11.average_reduction(
+        rows, "inter_chip_idleness_pct", "VAS", "SPK3"
+    )
+    intra_reduction_spk1 = figure11.average_reduction(
+        rows, "intra_chip_idleness_pct", "VAS", "SPK1"
+    )
+    # Paper shape: Sprinkler cuts inter-chip idleness sharply; FARO-only cuts
+    # intra-chip idleness.
+    assert inter_reduction > 0.0
+    assert intra_reduction_spk1 > 0.0
+    benchmark.extra_info["spk3_inter_chip_idleness_reduction_vs_vas"] = inter_reduction
+    benchmark.extra_info["spk1_intra_chip_idleness_reduction_vs_vas"] = intra_reduction_spk1

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 12 - msnfs1 latency time series (VAS vs PAS vs SPK3)."""
+
+from repro.experiments import figure12
+
+
+def test_bench_figure12(benchmark, run_once):
+    data = run_once(
+        figure12.run_figure12, trace_name="msnfs1", num_requests=150, num_chips=64
+    )
+    reductions = data["latency_reduction"]
+    # Paper shape: SPK3 latency well below VAS over the replayed window.
+    assert reductions["SPK3_vs_VAS"] > 0.2
+    assert reductions["SPK3_vs_PAS"] > 0.0
+    benchmark.extra_info["latency_reduction"] = reductions
+    benchmark.extra_info["mean_latency_us"] = {
+        scheduler: round(value / 1000.0, 1)
+        for scheduler, value in data["mean_latency_ns"].items()
+    }

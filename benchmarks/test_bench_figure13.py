@@ -1,0 +1,14 @@
+"""Benchmark: Figure 13 - execution time breakdown (PAS vs SPK3)."""
+
+from repro.experiments import figure13
+
+
+def test_bench_figure13(benchmark, run_once, bench_scale):
+    rows = run_once(figure13.run_figure13, scale=bench_scale)
+    vs_pas = figure13.idleness_elimination(rows, "PAS", "SPK3")
+    vs_vas = figure13.idleness_elimination(rows, "VAS", "SPK3")
+    # Paper shape: SPK3 converts system idle time into cell activity.
+    assert vs_pas > 0.0
+    assert vs_vas > 0.0
+    benchmark.extra_info["spk3_idle_reduction_vs_pas"] = vs_pas
+    benchmark.extra_info["spk3_idle_reduction_vs_vas"] = vs_vas

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 14 - flash-level parallelism breakdown."""
+
+from repro.experiments import figure14
+
+
+def test_bench_figure14(benchmark, run_once, bench_scale):
+    rows = run_once(figure14.run_figure14, scale=bench_scale)
+    averages = figure14.average_high_flp(rows)
+    # Paper shape: every Sprinkler variant reaches more FLP than PAS, with the
+    # FARO-enabled variants (SPK1/SPK3) at the top.
+    assert averages["SPK3"] >= averages["PAS"]
+    assert averages["SPK1"] >= averages["PAS"]
+    benchmark.extra_info["average_high_flp_share_pct"] = averages

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 15 - chip utilisation vs transfer size and SSD size."""
+
+from repro.experiments import figure15
+
+
+def test_bench_figure15(benchmark, run_once):
+    rows = run_once(
+        figure15.run_figure15,
+        chip_counts=(64, 256),
+        transfer_sizes_kb=(4, 16, 64, 256),
+        schedulers=("VAS", "SPK1", "SPK2", "SPK3"),
+        requests_per_point=16,
+    )
+    averages = figure15.average_utilization(rows)
+    # Paper shape: SPK3 sustains higher utilisation than VAS at both sizes,
+    # and utilisation drops as the SSD grows for the conventional scheduler.
+    assert averages[(64, "SPK3")] > averages[(64, "VAS")]
+    assert averages[(256, "SPK3")] > averages[(256, "VAS")]
+    assert averages[(256, "VAS")] < averages[(64, "VAS")]
+    benchmark.extra_info["average_utilization_pct"] = {
+        f"{chips}chips/{scheduler}": value for (chips, scheduler), value in averages.items()
+    }

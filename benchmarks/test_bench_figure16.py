@@ -1,0 +1,21 @@
+"""Benchmark: Figure 16 - flash transaction reduction."""
+
+from repro.experiments import figure16
+
+
+def test_bench_figure16(benchmark, run_once):
+    rows = run_once(
+        figure16.run_figure16,
+        chip_counts=(64,),
+        transfer_sizes_kb=(4, 16, 64, 256),
+        schedulers=("VAS", "SPK1", "SPK2", "SPK3"),
+        requests_per_point=16,
+    )
+    reductions = figure16.reduction_vs_vas(rows)
+    spk3_reductions = [value for key, value in reductions.items() if key[2] == "SPK3"]
+    # Paper shape: FARO roughly halves the number of flash transactions.
+    assert max(spk3_reductions) > 0.3
+    assert all(value >= 0.0 for value in spk3_reductions)
+    benchmark.extra_info["transaction_reduction_vs_vas"] = {
+        f"{size}KB/{scheduler}": value for (_, size, scheduler), value in reductions.items()
+    }

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 17 - garbage collection and readdressing-callback impact."""
+
+from repro.experiments import figure17
+
+
+def test_bench_figure17(benchmark, run_once):
+    rows = run_once(
+        figure17.run_figure17,
+        chip_counts=(64,),
+        transfer_sizes_kb=(64, 256),
+        schedulers=("VAS", "PAS", "SPK3"),
+        requests_per_point=32,
+    )
+    degradation = figure17.gc_degradation(rows)
+    advantage = figure17.fragmented_advantage(rows)
+    # Paper shape: every scheduler loses performance once GC fires, but SPK3
+    # (with the readdressing callback) stays roughly 2x ahead of VAS.
+    assert all(0.0 < value < 1.0 for value in degradation.values())
+    assert all(value > 1.2 for value in advantage.values())
+    fragmented = [row for row in rows if row["state"] == "fragmented"]
+    assert all(row["gc_invocations"] > 0 for row in fragmented)
+    benchmark.extra_info["gc_degradation"] = {
+        f"{size}KB/{scheduler}": value for (_, size, scheduler), value in degradation.items()
+    }
+    benchmark.extra_info["spk3_over_vas_under_gc"] = {
+        f"{size}KB": value for (_, size), value in advantage.items()
+    }

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (workload characteristics)."""
+
+from repro.experiments import table01
+from repro.experiments.runner import ExperimentScale
+
+
+def test_bench_table01(benchmark, run_once):
+    rows = run_once(table01.run_table01, scale=ExperimentScale(requests_per_trace=120))
+    assert len(rows) == 16
+    benchmark.extra_info["traces"] = len(rows)
+    benchmark.extra_info["example_row"] = {
+        key: rows[0][key] for key in ("trace", "read_mb", "write_mb", "locality")
+    }

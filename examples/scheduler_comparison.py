@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Compare all five schedulers on data-center traces (Figure 10 in miniature).
+
+Replays synthetic versions of four of the paper's data-center traces (cfs0,
+cfs3, msnfs1, proj0) against the same 64-chip SSD under VAS, PAS, SPK1, SPK2
+and SPK3 and prints a per-trace comparison table plus the headline speedups
+(the paper reports SPK3 at >= 2.2x VAS and >= 1.8x PAS bandwidth).
+
+Run with::
+
+    python examples/scheduler_comparison.py
+"""
+
+from repro import SCHEDULER_NAMES, SimulationConfig, format_table
+from repro.experiments.runner import clone_workload
+from repro.sim.ssd import SSDSimulator
+from repro.workloads import generate_datacenter_trace
+
+TRACES = ("cfs0", "cfs3", "msnfs1", "proj0")
+REQUESTS_PER_TRACE = 200
+
+
+def main() -> None:
+    config = SimulationConfig.paper_scale(num_chips=64)
+    rows = []
+    speedups = {}
+    for trace in TRACES:
+        workload = generate_datacenter_trace(trace, num_requests=REQUESTS_PER_TRACE, seed=7)
+        bandwidths = {}
+        for scheduler in SCHEDULER_NAMES:
+            simulator = SSDSimulator(config, scheduler)
+            result = simulator.run(clone_workload(workload), workload_name=trace)
+            bandwidths[scheduler] = result.bandwidth_kb_s
+            rows.append(
+                {
+                    "trace": trace,
+                    "scheduler": scheduler,
+                    "bandwidth_MB_s": round(result.bandwidth_kb_s / 1024, 1),
+                    "IOPS": round(result.iops),
+                    "avg_latency_us": round(result.avg_latency_ns / 1000, 1),
+                    "chip_util_%": round(100 * result.chip_utilization, 1),
+                    "txns": result.transactions,
+                }
+            )
+        speedups[trace] = {
+            "SPK3/VAS": round(bandwidths["SPK3"] / bandwidths["VAS"], 2),
+            "SPK3/PAS": round(bandwidths["SPK3"] / bandwidths["PAS"], 2),
+        }
+
+    print(format_table(rows, title="Scheduler comparison (Figure 10 in miniature)"))
+    print()
+    print("Bandwidth speedups:")
+    for trace, ratios in speedups.items():
+        print(f"  {trace:8s} SPK3 over VAS: {ratios['SPK3/VAS']:.2f}x   over PAS: {ratios['SPK3/PAS']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro: a reproduction of "Sprinkler: Maximizing Resource Utilization in
+Many-Chip Solid State Disks" (Jung & Kandemir, HPCA 2014).
+
+The package provides:
+
+* a discrete-event many-chip SSD simulator (:mod:`repro.sim`) with a full
+  flash substrate (:mod:`repro.flash`), FTL (:mod:`repro.ftl`) and NVMHC
+  (:mod:`repro.nvmhc`),
+* the paper's schedulers - VAS, PAS and the Sprinkler variants SPK1/2/3 -
+  in :mod:`repro.core`,
+* workload generators and trace tooling in :mod:`repro.workloads`,
+* the metrics the paper reports in :mod:`repro.metrics`,
+* one experiment module per paper table/figure in :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro import SimulationConfig, run_workload, generate_random_workload
+
+    workload = generate_random_workload(num_requests=256, size_bytes=16 * 1024)
+    result = run_workload(workload, scheduler="SPK3", config=SimulationConfig.paper_scale(64))
+    print(result.summary_row())
+"""
+
+from repro.core import SCHEDULER_NAMES, Sprinkler, make_scheduler
+from repro.flash import FlashTiming, SSDGeometry
+from repro.metrics import SimulationResult, format_table
+from repro.sim import SimulationConfig, SSDSimulator, run_workload
+from repro.workloads import (
+    DATACENTER_TRACE_NAMES,
+    IOKind,
+    IORequest,
+    generate_datacenter_trace,
+    generate_random_workload,
+    generate_sequential_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SCHEDULER_NAMES",
+    "Sprinkler",
+    "make_scheduler",
+    "FlashTiming",
+    "SSDGeometry",
+    "SimulationResult",
+    "format_table",
+    "SimulationConfig",
+    "SSDSimulator",
+    "run_workload",
+    "DATACENTER_TRACE_NAMES",
+    "IOKind",
+    "IORequest",
+    "generate_datacenter_trace",
+    "generate_random_workload",
+    "generate_sequential_workload",
+    "__version__",
+]

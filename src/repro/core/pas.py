@@ -1,0 +1,67 @@
+"""Physical Address Scheduler (PAS).
+
+PAS (paper Section 3, Figure 5) schedules I/O requests with knowledge of the
+physical addresses exposed by a hardware-assisted preprocessor (Ozone) or a
+software translation unit (PAQ).  It can therefore *reorder* I/O requests to
+avoid request collisions and execute them in a coarse-grain out-of-order
+fashion: an I/O is committed only when none of its target chips holds
+outstanding work, and I/Os that would collide are skipped until the conflict
+clears.
+
+Its two remaining weaknesses (which Sprinkler removes) are preserved here:
+
+* composition and commitment happen at *I/O request* granularity and in
+  arrival order among the eligible requests, so the achievable parallelism
+  still depends on the incoming access pattern (parallelism dependency);
+* it never over-commits - a chip holds the requests of at most one I/O at a
+  time - so the flash controller rarely sees enough requests to build a
+  high-FLP transaction across I/O boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scheduler import SchedulerBase
+from repro.flash.request import MemoryRequest
+from repro.nvmhc.tag import Tag
+
+
+class PhysicalAddressScheduler(SchedulerBase):
+    """Coarse-grain out-of-order scheduler at I/O granularity."""
+
+    name = "PAS"
+    uses_physical_layout = True
+    allows_overcommit = False
+    uses_readdressing_callback = False
+
+    def next_composition(self, now_ns: int) -> Optional[MemoryRequest]:
+        """Continue a partially-composed I/O, else start a conflict-free one."""
+        pending = self._pending_tags()
+        if not pending:
+            return None
+        # An I/O commits atomically: finish composing any I/O already started.
+        for tag in pending:
+            if tag.composed_count > 0:
+                request = tag.next_uncomposed()
+                if request is not None:
+                    return request
+        # Otherwise pick the first queued I/O whose chips are all free.
+        for tag in pending:
+            if self._has_fua_barrier(pending, tag):
+                break
+            if not self._conflicts(tag):
+                request = tag.next_uncomposed()
+                if request is not None:
+                    return request
+            if tag.io.force_unit_access:
+                # A force-unit-access request must not be bypassed.
+                break
+        return None
+
+    def _conflicts(self, tag: Tag) -> bool:
+        """True when any chip targeted by the I/O still holds outstanding work."""
+        for chip_key in tag.by_chip:
+            if self.context.chip_has_outstanding(chip_key):
+                return True
+        return False

@@ -1,0 +1,130 @@
+"""Scheduler interface shared by VAS, PAS and Sprinkler.
+
+A scheduler lives inside the NVMHC.  The simulator drives it through a small
+interface:
+
+* :meth:`SchedulerBase.register_tag` - a host I/O was admitted into the
+  device queue and (for layout-aware schedulers) its physical footprint has
+  been identified by the preprocessor.
+* :meth:`SchedulerBase.next_composition` - the composition/DMA pipeline is
+  idle; return the next memory request to compose and commit, or ``None`` if
+  the policy has nothing eligible right now (e.g. VAS blocked on a chip
+  conflict).
+* :meth:`SchedulerBase.on_transaction_complete` - a chip finished a
+  transaction; conflict-based policies may now have new eligible work.
+* :meth:`SchedulerBase.on_tag_retired` - an I/O fully completed and left the
+  device queue.
+
+The *order* in which ``next_composition`` returns requests is the scheduler
+policy; everything downstream (controllers, transaction building, timing) is
+identical across schedulers, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.flash.controller import FlashController
+from repro.flash.geometry import PhysicalPageAddress, SSDGeometry
+from repro.flash.request import MemoryRequest
+from repro.flash.transaction import FlashTransaction
+from repro.nvmhc.tag import Tag
+
+
+@dataclass
+class SchedulerContext:
+    """Everything a scheduler needs to know about the device it runs on."""
+
+    geometry: SSDGeometry
+    controllers: Dict[int, FlashController]
+
+    def controller_for(self, chip_key: tuple) -> FlashController:
+        """Flash controller responsible for a chip."""
+        channel, _ = chip_key
+        return self.controllers[channel]
+
+    def outstanding(self, chip_key: tuple) -> int:
+        """Committed-but-uncompleted memory requests currently on a chip."""
+        return self.controller_for(chip_key).outstanding_count(chip_key)
+
+    def chip_has_outstanding(self, chip_key: tuple) -> bool:
+        """True when the chip already holds committed or in-flight work."""
+        return self.controller_for(chip_key).has_outstanding(chip_key)
+
+
+class SchedulerBase(abc.ABC):
+    """Base class for device-level I/O schedulers."""
+
+    #: Human-readable scheduler name (``VAS``, ``PAS``, ``SPK1`` ...).
+    name: str = "base"
+    #: True when the scheduler uses physical layout information.
+    uses_physical_layout: bool = False
+    #: True when the scheduler may over-commit requests to busy chips.
+    allows_overcommit: bool = False
+    #: True when the scheduler registers the readdressing callback.
+    uses_readdressing_callback: bool = False
+
+    def __init__(self, context: SchedulerContext) -> None:
+        self.context = context
+        self.tags: List[Tag] = []
+
+    # ------------------------------------------------------------------
+    # Queue events
+    # ------------------------------------------------------------------
+    def register_tag(self, tag: Tag, now_ns: int) -> None:
+        """A new tag entered the device queue."""
+        self.tags.append(tag)
+
+    def on_tag_retired(self, tag: Tag) -> None:
+        """A tag completed and left the device queue."""
+        self.tags = [existing for existing in self.tags if existing.io_id != tag.io_id]
+
+    # ------------------------------------------------------------------
+    # Composition policy (the heart of each scheduler)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def next_composition(self, now_ns: int) -> Optional[MemoryRequest]:
+        """Return the next memory request to compose/commit, or ``None``."""
+
+    # ------------------------------------------------------------------
+    # Downstream notifications
+    # ------------------------------------------------------------------
+    def on_transaction_complete(
+        self, chip_key: tuple, transaction: FlashTransaction, now_ns: int
+    ) -> None:
+        """A chip finished a transaction (default: nothing to update)."""
+
+    def on_migration(
+        self, lpn: int, old: PhysicalPageAddress, new: PhysicalPageAddress
+    ) -> None:
+        """Live data migration observed (only layout-aware schedulers care)."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _pending_tags(self) -> List[Tag]:
+        """Tags that still have uncomposed memory requests, in arrival order."""
+        return [tag for tag in self.tags if not tag.fully_composed]
+
+    @staticmethod
+    def _has_fua_barrier(tags: List[Tag], tag: Tag) -> bool:
+        """True when an earlier force-unit-access tag forbids reordering past it.
+
+        The paper's hazard control (Section 4.4): when the host issues a
+        force-unit-access command, I/Os are served without any reordering.
+        """
+        for earlier in tags:
+            if earlier.io_id == tag.io_id:
+                return False
+            if earlier.io.force_unit_access and not earlier.fully_composed:
+                return True
+        return False
+
+    def has_backlog(self) -> bool:
+        """True while any registered tag still has uncomposed requests."""
+        return any(not tag.fully_composed for tag in self.tags)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(tags={len(self.tags)})"

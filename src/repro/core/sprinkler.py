@@ -1,0 +1,231 @@
+"""Sprinkler: the paper's proposed device-level scheduler.
+
+Sprinkler combines two techniques (paper Section 4):
+
+* **RIOS** - compose and commit memory requests per *flash chip*, visiting
+  chips in the channel-striped traversal order, instead of per I/O request.
+  This relaxes parallelism dependency and activates as many chips as
+  possible regardless of the incoming access pattern.
+* **FARO** - over-commit memory requests to each chip, prioritised by
+  overlap depth then connectivity, so the flash controller can coalesce them
+  into a single high-FLP transaction.
+
+The two flags ``use_rios`` / ``use_faro`` produce the three variants the
+evaluation studies:
+
+======  ==========  ==========
+name    use_rios    use_faro
+======  ==========  ==========
+SPK1    False       True
+SPK2    True        False
+SPK3    True        True
+======  ==========  ==========
+
+*SPK1* still composes within the arrival-order window of the queue (it has
+no resource-driven traversal), so it inherits the parallelism-dependency
+problem; *SPK2* spreads single requests breadth-first across chips but does
+not group them for FLP; *SPK3* does both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.faro import FaroPolicy
+from repro.core.rios import RiosTraversal
+from repro.core.scheduler import SchedulerBase, SchedulerContext
+from repro.flash.geometry import PhysicalPageAddress
+from repro.flash.request import MemoryRequest
+from repro.flash.transaction import FlashTransaction
+from repro.nvmhc.tag import Tag
+
+
+class Sprinkler(SchedulerBase):
+    """RIOS + FARO device-level scheduler (SPK1/SPK2/SPK3)."""
+
+    uses_physical_layout = True
+    uses_readdressing_callback = True
+
+    def __init__(
+        self,
+        context: SchedulerContext,
+        *,
+        use_rios: bool = True,
+        use_faro: bool = True,
+        faro_lookahead_tags: int = 8,
+        rios_batch_per_visit: int = 1,
+        overcommit_limit: int = 64,
+        channel_first_traversal: bool = False,
+    ) -> None:
+        super().__init__(context)
+        self.use_rios = use_rios
+        self.use_faro = use_faro
+        self.faro_lookahead_tags = max(1, faro_lookahead_tags)
+        self.rios_batch_per_visit = max(1, rios_batch_per_visit)
+        self.overcommit_limit = max(1, overcommit_limit)
+        self.faro = FaroPolicy()
+        self.traversal = RiosTraversal(context.geometry, channel_first=channel_first_traversal)
+        self._burst: List[MemoryRequest] = []
+        #: Incremental per-chip index of not-yet-handed-out memory requests,
+        #: so RIOS traversal does not rescan the whole queue per composition.
+        self._chip_queues: Dict[tuple, List[MemoryRequest]] = {}
+        self.allows_overcommit = use_faro
+        self.name = self._variant_name()
+
+    def _variant_name(self) -> str:
+        if self.use_rios and self.use_faro:
+            return "SPK3"
+        if self.use_rios:
+            return "SPK2"
+        if self.use_faro:
+            return "SPK1"
+        return "SPK0"
+
+    # ------------------------------------------------------------------
+    # Queue events
+    # ------------------------------------------------------------------
+    def register_tag(self, tag: Tag, now_ns: int) -> None:
+        """Index the tag's memory requests per target chip (RIOS step i)."""
+        super().register_tag(tag, now_ns)
+        if self.use_rios:
+            for chip_key, requests in tag.by_chip.items():
+                self._chip_queues.setdefault(chip_key, []).extend(requests)
+
+    # ------------------------------------------------------------------
+    # Composition policy
+    # ------------------------------------------------------------------
+    def next_composition(self, now_ns: int) -> Optional[MemoryRequest]:
+        """Return the next memory request according to the active variant."""
+        self._burst = [req for req in self._burst if req.composed_at_ns is None]
+        if self._burst:
+            return self._burst.pop(0)
+        pending = self._pending_tags()
+        if not pending:
+            return None
+        if any(tag.io.force_unit_access for tag in pending):
+            # Hazard control: a force-unit-access request disables reordering;
+            # fall back to strict arrival order until it drains.
+            return self._next_fifo(pending)
+        if self.use_rios:
+            return self._next_rios(pending)
+        return self._next_faro_only(pending)
+
+    # -- strict order fallback -----------------------------------------
+    def _next_fifo(self, pending: List[Tag]) -> Optional[MemoryRequest]:
+        for tag in pending:
+            uncomposed = tag.uncomposed_requests()
+            if uncomposed:
+                return uncomposed[0]
+        return None
+
+    # -- SPK2 / SPK3: resource-driven traversal --------------------------
+    def _next_rios(self, pending: List[Tag]) -> Optional[MemoryRequest]:
+        # Visit chips in traversal order; each visit drains either one request
+        # (SPK2) or a FARO-ordered over-commit burst (SPK3) for that chip.
+        for _ in range(len(self.traversal)):
+            chip_key = self.traversal.next_chip(
+                lambda key: bool(self._chip_queues.get(key))
+            )
+            if chip_key is None:
+                return None
+            chip_requests = self._drain_chip_queue(chip_key)
+            if not chip_requests:
+                continue
+            if self.use_faro:
+                ordered = self.faro.order_requests(chip_requests)
+                burst = ordered[: self.overcommit_limit]
+            else:
+                ordered = sorted(chip_requests, key=lambda req: (req.io_id, req.request_id))
+                burst = ordered[: self.rios_batch_per_visit]
+            # Requests beyond the burst limit return to the chip's queue for
+            # a later traversal visit.
+            leftover = [req for req in ordered[len(burst):]]
+            if leftover:
+                self._chip_queues[chip_key] = leftover + self._chip_queues.get(chip_key, [])
+            head, rest = burst[0], burst[1:]
+            self._burst = rest
+            return head
+        return None
+
+    def _drain_chip_queue(self, chip_key: tuple) -> List[MemoryRequest]:
+        """Remove and return the uncomposed requests indexed for a chip."""
+        queue = self._chip_queues.pop(chip_key, [])
+        return [req for req in queue if req.composed_at_ns is None]
+
+    # -- SPK1: FARO within the arrival-order window ----------------------
+    def _next_faro_only(self, pending: List[Tag]) -> Optional[MemoryRequest]:
+        window = pending[: self.faro_lookahead_tags]
+        candidates = self._candidates_by_chip(window)
+        if not candidates:
+            return None
+        chip_key = self.faro.best_chip(candidates)
+        if chip_key is None:
+            return None
+        ordered = self.faro.order_requests(candidates[chip_key])
+        burst = ordered[: self.overcommit_limit]
+        head, rest = burst[0], burst[1:]
+        self._burst = rest
+        return head
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _candidates_by_chip(self, tags: List[Tag]) -> Dict[tuple, List[MemoryRequest]]:
+        """Uncomposed memory requests of ``tags`` grouped by target chip."""
+        by_chip: Dict[tuple, List[MemoryRequest]] = {}
+        for tag in tags:
+            for chip_key, requests in tag.by_chip.items():
+                for req in requests:
+                    if req.composed_at_ns is None:
+                        by_chip.setdefault(chip_key, []).append(req)
+        return by_chip
+
+    # ------------------------------------------------------------------
+    # Migration handling (readdressing callback)
+    # ------------------------------------------------------------------
+    def on_migration(
+        self, lpn: int, old: PhysicalPageAddress, new: PhysicalPageAddress
+    ) -> None:
+        """Update the per-tag chip grouping after a live data migration.
+
+        Sprinkler schedules against the internal resource layout, so the
+        callback only has to act when the data moved between different flash
+        internal resources (different chip, die or plane).
+        """
+        if old.plane_key == new.plane_key:
+            return
+        if self.use_rios and old.chip_key != new.chip_key:
+            # Move not-yet-handed-out requests between the per-chip indexes.
+            old_queue = self._chip_queues.get(old.chip_key, [])
+            moved = [
+                req
+                for req in old_queue
+                if req.composed_at_ns is None and req.address == new
+            ]
+            if moved:
+                moved_ids = {req.request_id for req in moved}
+                self._chip_queues[old.chip_key] = [
+                    req for req in old_queue if req.request_id not in moved_ids
+                ]
+                self._chip_queues.setdefault(new.chip_key, []).extend(moved)
+        for tag in self.tags:
+            moved: List[MemoryRequest] = []
+            old_bucket = tag.by_chip.get(old.chip_key)
+            if not old_bucket:
+                continue
+            remaining: List[MemoryRequest] = []
+            for req in old_bucket:
+                if req.composed_at_ns is None and req.address == new:
+                    # The request was already retargeted by the readdressing
+                    # callback; move it to the new chip's bucket.
+                    moved.append(req)
+                else:
+                    remaining.append(req)
+            if moved:
+                tag.by_chip[old.chip_key] = remaining
+                tag.by_chip.setdefault(new.chip_key, []).extend(moved)
+
+    def on_transaction_complete(
+        self, chip_key: tuple, transaction: FlashTransaction, now_ns: int
+    ) -> None:
+        """Nothing to do: Sprinkler does not gate composition on completions."""

@@ -1,0 +1,53 @@
+"""Virtual Address Scheduler (VAS).
+
+VAS (paper Section 3, Figure 4) decides the order of I/O requests purely in
+the device-level queue and builds/commits memory requests relying only on the
+virtual addresses of the I/O requests.  Two consequences:
+
+* it processes I/O requests strictly in arrival (FIFO) order - it never
+  reorders around a request collision,
+* when the next I/O in line collides with outstanding work on any of its
+  target chips, the whole composition pipeline stalls until that work
+  completes ("VAS has to wait for the completion of the previously-committed
+  request", Figure 4a), leaving other chips idle.
+
+Within one I/O the memory requests are composed back-to-back; across I/Os
+the head-of-line blocking rule applies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scheduler import SchedulerBase
+from repro.flash.request import MemoryRequest
+from repro.nvmhc.tag import Tag
+
+
+class VirtualAddressScheduler(SchedulerBase):
+    """FIFO scheduler with head-of-line blocking on chip conflicts."""
+
+    name = "VAS"
+    uses_physical_layout = False
+    allows_overcommit = False
+    uses_readdressing_callback = False
+
+    def next_composition(self, now_ns: int) -> Optional[MemoryRequest]:
+        """Compose the head-of-queue I/O, stalling on chip conflicts."""
+        pending = self._pending_tags()
+        if not pending:
+            return None
+        head = pending[0]
+        if head.composed_count == 0 and self._conflicts(head):
+            # The head I/O collides with outstanding work; VAS is unaware of
+            # the physical layout, so it simply waits - nothing else may be
+            # composed in the meantime (strict FIFO).
+            return None
+        return head.next_uncomposed()
+
+    def _conflicts(self, tag: Tag) -> bool:
+        """True when any chip targeted by the I/O still holds outstanding work."""
+        for chip_key in tag.by_chip:
+            if self.context.chip_has_outstanding(chip_key):
+                return True
+        return False

@@ -1,0 +1,45 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run_*`` function returning plain row dictionaries
+(easy to print, assert on, or dump to CSV) plus a ``main`` entry point that
+prints the table.  The modules accept scale parameters so the same code runs
+both the quick benchmark version (seconds) and a full-scale overnight run.
+"""
+
+from repro.experiments.runner import (
+    ExperimentScale,
+    clone_workload,
+    default_trace_set,
+    run_scheduler_matrix,
+)
+from repro.experiments import (
+    figure01,
+    figure06,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    table01,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "clone_workload",
+    "default_trace_set",
+    "run_scheduler_matrix",
+    "figure01",
+    "figure06",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure17",
+    "table01",
+]

@@ -1,0 +1,103 @@
+"""Figure 1: many-chip SSD scaling under a conventional controller.
+
+The paper's motivating figure shows that, with a state-of-the-art controller
+(a VAS-like baseline), read bandwidth stagnates (1a) while chip utilisation
+collapses and memory-level idleness grows (1b) as the number of flash dies is
+increased from a handful to tens of thousands, for several data transfer
+sizes.
+
+We sweep the number of dies (by scaling the chip count) and the transfer
+size with the VAS scheduler and report bandwidth, utilisation and idleness.
+The absolute die counts are scaled down (pure-Python simulation), but the
+*trend* - larger SSDs stop helping because parallelism dependency caps how
+many chips a queue of bounded depth can activate - is what the figure is
+about and is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import clone_workload
+from repro.metrics.report import format_table
+from repro.sim.config import SimulationConfig
+from repro.sim.ssd import SSDSimulator
+from repro.workloads.synthetic import generate_random_workload
+
+KB = 1024
+
+DEFAULT_DIE_COUNTS = (16, 32, 64, 128, 256, 512)
+DEFAULT_TRANSFER_SIZES_KB = (4, 16, 64, 128)
+
+
+def _config_for_dies(num_dies: int) -> SimulationConfig:
+    """Build an SSD whose total die count is ``num_dies`` (2 dies per chip)."""
+    num_chips = max(8, num_dies // 2)
+    # Round to a multiple of 8 so the channel count divides evenly.
+    num_chips = ((num_chips + 7) // 8) * 8
+    return SimulationConfig.paper_scale(num_chips).with_overrides(
+        gc_enabled=False,
+    )
+
+
+def run_figure01(
+    die_counts: Sequence[int] = DEFAULT_DIE_COUNTS,
+    transfer_sizes_kb: Sequence[int] = DEFAULT_TRANSFER_SIZES_KB,
+    *,
+    requests_per_point: int = 48,
+    scheduler: str = "VAS",
+    seed: int = 11,
+) -> List[Dict[str, object]]:
+    """Sweep die count x transfer size with a conventional controller."""
+    rows: List[Dict[str, object]] = []
+    for size_kb in transfer_sizes_kb:
+        for num_dies in die_counts:
+            config = _config_for_dies(num_dies)
+            workload = generate_random_workload(
+                num_requests=requests_per_point,
+                size_bytes=size_kb * KB,
+                address_space_bytes=max(64, size_kb * 8) * KB * requests_per_point,
+                read_fraction=1.0,
+                interarrival_ns=1_000,
+                seed=seed,
+            )
+            simulator = SSDSimulator(config, scheduler)
+            result = simulator.run(clone_workload(workload), workload_name=f"seq-{size_kb}KB")
+            rows.append(
+                {
+                    "transfer_kb": size_kb,
+                    "num_dies": config.geometry.num_dies,
+                    "num_chips": config.geometry.num_chips,
+                    "bandwidth_mb_s": round(result.bandwidth_kb_s / 1024.0, 1),
+                    "chip_utilization_pct": round(100.0 * result.chip_utilization, 1),
+                    "idleness_pct": round(100.0 * result.inter_chip_idleness, 1),
+                }
+            )
+    return rows
+
+
+def stagnation_summary(rows: Sequence[Dict[str, object]]) -> Dict[int, float]:
+    """Bandwidth gain from the smallest to the largest SSD, per transfer size.
+
+    Values close to 1.0 mean the extra dies bought nothing (stagnation).
+    """
+    summary: Dict[int, float] = {}
+    for size_kb in sorted({int(row["transfer_kb"]) for row in rows}):
+        series = [row for row in rows if row["transfer_kb"] == size_kb]
+        series.sort(key=lambda row: row["num_dies"])
+        first = float(series[0]["bandwidth_mb_s"]) or 1.0
+        last = float(series[-1]["bandwidth_mb_s"])
+        summary[size_kb] = round(last / first, 2)
+    return summary
+
+
+def main() -> None:
+    """Print the Figure 1 sweep and the stagnation summary."""
+    rows = run_figure01()
+    print(format_table(rows, title="Figure 1: scaling of a conventional (VAS) controller"))
+    print()
+    print("Bandwidth gain largest/smallest SSD per transfer size:", stagnation_summary(rows))
+
+
+if __name__ == "__main__":
+    main()

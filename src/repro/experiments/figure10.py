@@ -1,0 +1,95 @@
+"""Figure 10: system performance of the five schedulers.
+
+Four sub-figures over the sixteen traces:
+
+* 10a - I/O bandwidth (KB/s),
+* 10b - IOPS,
+* 10c - average device-level latency (ns),
+* 10d - device-level queue stall time, normalised to VAS.
+
+Headline paper claims to compare against: SPK3 achieves at least 2.2x the
+bandwidth of VAS and 1.8x that of PAS, reduces latency by 56.6%-92.3% versus
+VAS, and cuts queue stall time by about 86%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import (
+    ALL_SCHEDULERS,
+    ExperimentScale,
+    default_trace_set,
+    paper_config,
+    run_scheduler_matrix,
+)
+from repro.metrics.report import SimulationResult, format_table
+
+
+def run_figure10(
+    scale: Optional[ExperimentScale] = None,
+    schedulers: Sequence[str] = ALL_SCHEDULERS,
+) -> List[Dict[str, object]]:
+    """Bandwidth / IOPS / latency / queue-stall rows per (trace, scheduler)."""
+    scale = scale or ExperimentScale.quick()
+    traces = default_trace_set(scale)
+    config = paper_config(scale)
+    results = run_scheduler_matrix(traces, schedulers, config)
+    rows: List[Dict[str, object]] = []
+    for trace in traces:
+        vas_stall = max(1, results[(trace, "VAS")].queue_stall_time_ns) if "VAS" in schedulers else 1
+        for scheduler in schedulers:
+            result = results[(trace, scheduler)]
+            rows.append(
+                {
+                    "trace": trace,
+                    "scheduler": scheduler,
+                    "bandwidth_kb_s": round(result.bandwidth_kb_s, 1),
+                    "iops": round(result.iops, 1),
+                    "avg_latency_ns": round(result.avg_latency_ns, 1),
+                    "queue_stall_norm": round(result.queue_stall_time_ns / vas_stall, 3),
+                }
+            )
+    return rows
+
+
+def speedups_over(
+    rows: Sequence[Dict[str, object]], baseline: str, target: str
+) -> Dict[str, float]:
+    """Per-trace bandwidth ratio target/baseline (e.g. SPK3 over VAS)."""
+    ratios: Dict[str, float] = {}
+    by_key: Dict[Tuple[str, str], Dict[str, object]] = {
+        (str(row["trace"]), str(row["scheduler"])): row for row in rows
+    }
+    traces = sorted({str(row["trace"]) for row in rows})
+    for trace in traces:
+        base = float(by_key[(trace, baseline)]["bandwidth_kb_s"]) or 1.0
+        ratios[trace] = round(float(by_key[(trace, target)]["bandwidth_kb_s"]) / base, 2)
+    return ratios
+
+
+def latency_reduction(
+    rows: Sequence[Dict[str, object]], baseline: str, target: str
+) -> Dict[str, float]:
+    """Per-trace latency reduction of ``target`` relative to ``baseline``."""
+    by_key = {(str(row["trace"]), str(row["scheduler"])): row for row in rows}
+    reductions: Dict[str, float] = {}
+    for trace in sorted({str(row["trace"]) for row in rows}):
+        base = float(by_key[(trace, baseline)]["avg_latency_ns"]) or 1.0
+        value = float(by_key[(trace, target)]["avg_latency_ns"])
+        reductions[trace] = round(1.0 - value / base, 3)
+    return reductions
+
+
+def main() -> None:
+    """Print the Figure 10 table plus the headline ratios."""
+    rows = run_figure10()
+    print(format_table(rows, title="Figure 10: bandwidth / IOPS / latency / queue stall"))
+    print()
+    print("SPK3 bandwidth over VAS:", speedups_over(rows, "VAS", "SPK3"))
+    print("SPK3 bandwidth over PAS:", speedups_over(rows, "PAS", "SPK3"))
+    print("SPK3 latency reduction vs VAS:", latency_reduction(rows, "VAS", "SPK3"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Figure 11: device-level idleness analysis.
+
+Two sub-figures over the sixteen traces and the five schedulers:
+
+* 11a - inter-chip idleness: time whole chips sit idle because the scheduler
+  could not spread memory requests over them (parallelism dependency),
+* 11b - intra-chip idleness: die/plane time wasted inside busy chips because
+  transactions carry too few requests (low transactional locality).
+
+Paper claims: SPK3 cuts inter-chip idleness by about 46.1% versus VAS; SPK1
+reduces intra-chip idleness the most (it maximises FLP) while SPK2 mainly
+attacks inter-chip idleness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import (
+    ALL_SCHEDULERS,
+    ExperimentScale,
+    default_trace_set,
+    paper_config,
+    run_scheduler_matrix,
+)
+from repro.metrics.report import format_table
+
+
+def run_figure11(
+    scale: Optional[ExperimentScale] = None,
+    schedulers: Sequence[str] = ALL_SCHEDULERS,
+) -> List[Dict[str, object]]:
+    """Inter- and intra-chip idleness rows per (trace, scheduler)."""
+    scale = scale or ExperimentScale.quick()
+    traces = default_trace_set(scale)
+    config = paper_config(scale)
+    results = run_scheduler_matrix(traces, schedulers, config)
+    rows: List[Dict[str, object]] = []
+    for trace in traces:
+        for scheduler in schedulers:
+            result = results[(trace, scheduler)]
+            rows.append(
+                {
+                    "trace": trace,
+                    "scheduler": scheduler,
+                    "inter_chip_idleness_pct": round(100.0 * result.inter_chip_idleness, 1),
+                    "intra_chip_idleness_pct": round(100.0 * result.intra_chip_idleness, 1),
+                }
+            )
+    return rows
+
+
+def average_reduction(
+    rows: Sequence[Dict[str, object]], metric: str, baseline: str, target: str
+) -> float:
+    """Average relative reduction of ``metric`` going from baseline to target."""
+    by_key = {(str(row["trace"]), str(row["scheduler"])): row for row in rows}
+    reductions: List[float] = []
+    for trace in sorted({str(row["trace"]) for row in rows}):
+        base = float(by_key[(trace, baseline)][metric])
+        value = float(by_key[(trace, target)][metric])
+        if base > 0:
+            reductions.append(1.0 - value / base)
+    if not reductions:
+        return 0.0
+    return round(sum(reductions) / len(reductions), 3)
+
+
+def main() -> None:
+    """Print the Figure 11 table plus the headline reductions."""
+    rows = run_figure11()
+    print(format_table(rows, title="Figure 11: inter-chip and intra-chip idleness"))
+    print()
+    print(
+        "SPK3 inter-chip idleness reduction vs VAS:",
+        average_reduction(rows, "inter_chip_idleness_pct", "VAS", "SPK3"),
+    )
+    print(
+        "SPK1 intra-chip idleness reduction vs VAS:",
+        average_reduction(rows, "intra_chip_idleness_pct", "VAS", "SPK1"),
+    )
+
+
+if __name__ == "__main__":
+    main()

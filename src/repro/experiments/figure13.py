@@ -1,0 +1,75 @@
+"""Figure 13: execution time breakdown.
+
+The paper decomposes total execution time into bus operation, bus contention,
+memory (cell) operation and system idle time for PAS (13a) and SPK3 (13b),
+showing that SPK3 converts idle time into cell activity - it "eliminates
+system level idleness by 40.5% (50.7%) compared to PAS (VAS)".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import (
+    ExperimentScale,
+    default_trace_set,
+    paper_config,
+    run_scheduler_matrix,
+)
+from repro.metrics.report import format_table
+
+SCHEDULERS = ("VAS", "PAS", "SPK3")
+
+
+def run_figure13(
+    scale: Optional[ExperimentScale] = None,
+    schedulers: Sequence[str] = SCHEDULERS,
+) -> List[Dict[str, object]]:
+    """Execution-breakdown rows (percentages) per (trace, scheduler)."""
+    scale = scale or ExperimentScale.quick()
+    traces = default_trace_set(scale)
+    config = paper_config(scale)
+    results = run_scheduler_matrix(traces, schedulers, config)
+    rows: List[Dict[str, object]] = []
+    for trace in traces:
+        for scheduler in schedulers:
+            result = results[(trace, scheduler)]
+            fractions = result.breakdown_fractions()
+            rows.append(
+                {
+                    "trace": trace,
+                    "scheduler": scheduler,
+                    "bus_operation_pct": round(100.0 * fractions["bus_operation"], 1),
+                    "bus_contention_pct": round(100.0 * fractions["bus_contention"], 1),
+                    "memory_operation_pct": round(100.0 * fractions["memory_operation"], 1),
+                    "system_idle_pct": round(100.0 * fractions["system_idle"], 1),
+                }
+            )
+    return rows
+
+
+def idleness_elimination(
+    rows: Sequence[Dict[str, object]], baseline: str, target: str
+) -> float:
+    """Average relative reduction of system idle time (target vs baseline)."""
+    by_key = {(str(row["trace"]), str(row["scheduler"])): row for row in rows}
+    reductions: List[float] = []
+    for trace in sorted({str(row["trace"]) for row in rows}):
+        base = float(by_key[(trace, baseline)]["system_idle_pct"])
+        value = float(by_key[(trace, target)]["system_idle_pct"])
+        if base > 0:
+            reductions.append(1.0 - value / base)
+    return round(sum(reductions) / len(reductions), 3) if reductions else 0.0
+
+
+def main() -> None:
+    """Print the Figure 13 table plus the idleness-elimination summary."""
+    rows = run_figure13()
+    print(format_table(rows, title="Figure 13: execution time breakdown (percent)"))
+    print()
+    print("SPK3 idle-time reduction vs PAS:", idleness_elimination(rows, "PAS", "SPK3"))
+    print("SPK3 idle-time reduction vs VAS:", idleness_elimination(rows, "VAS", "SPK3"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Figure 14: flash-level parallelism breakdown.
+
+For PAS, SPK1, SPK2 and SPK3 the paper breaks executed I/O work into four
+parallelism classes: NON-PAL (no flash-level parallelism), PAL1 (plane
+sharing), PAL2 (die interleaving) and PAL3 (both).  The shape to reproduce:
+VAS/PAS serve almost everything as NON-PAL/PAL1, SPK1 maximises PAL3, SPK2
+improves over PAS but stays below SPK1, and SPK3 balances SLP and FLP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import (
+    ExperimentScale,
+    default_trace_set,
+    paper_config,
+    run_scheduler_matrix,
+)
+from repro.metrics.report import format_table
+
+SCHEDULERS = ("PAS", "SPK1", "SPK2", "SPK3")
+
+
+def run_figure14(
+    scale: Optional[ExperimentScale] = None,
+    schedulers: Sequence[str] = SCHEDULERS,
+) -> List[Dict[str, object]]:
+    """FLP-class percentage rows per (trace, scheduler)."""
+    scale = scale or ExperimentScale.quick()
+    traces = default_trace_set(scale)
+    config = paper_config(scale)
+    results = run_scheduler_matrix(traces, schedulers, config)
+    rows: List[Dict[str, object]] = []
+    for trace in traces:
+        for scheduler in schedulers:
+            result = results[(trace, scheduler)]
+            fractions = result.flp_fractions()
+            rows.append(
+                {
+                    "trace": trace,
+                    "scheduler": scheduler,
+                    "non_pal_pct": round(100.0 * fractions["NON-PAL"], 1),
+                    "pal1_pct": round(100.0 * fractions["PAL1"], 1),
+                    "pal2_pct": round(100.0 * fractions["PAL2"], 1),
+                    "pal3_pct": round(100.0 * fractions["PAL3"], 1),
+                    "high_flp_pct": round(100.0 * result.flp.high_flp_fraction, 1),
+                }
+            )
+    return rows
+
+
+def average_high_flp(rows: Sequence[Dict[str, object]]) -> Dict[str, float]:
+    """Average share of transactions with any FLP, per scheduler."""
+    totals: Dict[str, List[float]] = {}
+    for row in rows:
+        totals.setdefault(str(row["scheduler"]), []).append(float(row["high_flp_pct"]))
+    return {
+        scheduler: round(sum(values) / len(values), 1) for scheduler, values in totals.items()
+    }
+
+
+def main() -> None:
+    """Print the Figure 14 table plus the per-scheduler high-FLP averages."""
+    rows = run_figure14()
+    print(format_table(rows, title="Figure 14: FLP breakdown (percent of transactions)"))
+    print()
+    print("Average high-FLP share:", average_high_flp(rows))
+
+
+if __name__ == "__main__":
+    main()

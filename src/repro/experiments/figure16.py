@@ -1,0 +1,97 @@
+"""Figure 16: flash transaction reduction.
+
+For 64-chip and 1024-chip SSDs the paper counts the number of flash
+transactions needed to serve transfer-size sweeps under VAS, SPK1, SPK2 and
+SPK3.  FARO's over-commitment merges memory requests into fewer transactions
+(about 50.2% fewer for SPK3 than VAS on average); SPK2 reduces far less
+because spreading single requests across chips lowers transactional locality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import clone_workload
+from repro.metrics.report import format_table
+from repro.sim.config import SimulationConfig
+from repro.sim.ssd import SSDSimulator
+from repro.workloads.synthetic import generate_random_workload
+
+KB = 1024
+
+DEFAULT_SCHEDULERS = ("VAS", "SPK1", "SPK2", "SPK3")
+DEFAULT_TRANSFER_SIZES_KB = (4, 16, 64, 256, 1024)
+DEFAULT_CHIP_COUNTS = (64,)
+
+
+def run_figure16(
+    chip_counts: Sequence[int] = DEFAULT_CHIP_COUNTS,
+    transfer_sizes_kb: Sequence[int] = DEFAULT_TRANSFER_SIZES_KB,
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    *,
+    requests_per_point: int = 32,
+    seed: int = 31,
+) -> List[Dict[str, object]]:
+    """Transaction-count rows per (chip count, transfer size, scheduler)."""
+    rows: List[Dict[str, object]] = []
+    for num_chips in chip_counts:
+        config = SimulationConfig.paper_scale(num_chips).with_overrides(gc_enabled=False)
+        for size_kb in transfer_sizes_kb:
+            workload = generate_random_workload(
+                num_requests=requests_per_point,
+                size_bytes=size_kb * KB,
+                address_space_bytes=max(
+                    64 * KB * requests_per_point, 8 * size_kb * KB * requests_per_point
+                ),
+                read_fraction=0.7,
+                interarrival_ns=1_000,
+                seed=seed,
+            )
+            for scheduler in schedulers:
+                simulator = SSDSimulator(config, scheduler)
+                result = simulator.run(
+                    clone_workload(workload), workload_name=f"sweep-{size_kb}KB"
+                )
+                rows.append(
+                    {
+                        "num_chips": num_chips,
+                        "transfer_kb": size_kb,
+                        "scheduler": scheduler,
+                        "transactions": result.transactions,
+                        "memory_requests": result.memory_requests_served,
+                        "reduction_vs_requests_pct": round(100.0 * result.transaction_reduction, 1),
+                        "coalescing_degree": round(result.coalescing_degree, 2),
+                    }
+                )
+    return rows
+
+
+def reduction_vs_vas(rows: Sequence[Dict[str, object]]) -> Dict[tuple, float]:
+    """Transaction reduction of each scheduler relative to VAS, per sweep point."""
+    by_key = {
+        (int(row["num_chips"]), int(row["transfer_kb"]), str(row["scheduler"])): row
+        for row in rows
+    }
+    reductions: Dict[tuple, float] = {}
+    for (chips, size, scheduler), row in by_key.items():
+        if scheduler == "VAS":
+            continue
+        vas_row = by_key.get((chips, size, "VAS"))
+        if vas_row is None or int(vas_row["transactions"]) == 0:
+            continue
+        reductions[(chips, size, scheduler)] = round(
+            1.0 - int(row["transactions"]) / int(vas_row["transactions"]), 3
+        )
+    return reductions
+
+
+def main() -> None:
+    """Print the Figure 16 table plus the reduction-vs-VAS summary."""
+    rows = run_figure16()
+    print(format_table(rows, title="Figure 16: flash transaction counts"))
+    print()
+    print("Transaction reduction vs VAS:", reduction_vs_vas(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Shared experiment plumbing.
+
+The individual figure modules all need the same ingredients: a set of
+workloads, a set of schedulers, fresh copies of the workload per run (the
+simulator mutates request objects), and a way to collect one
+:class:`~repro.metrics.report.SimulationResult` per (workload, scheduler)
+pair.  This module provides those ingredients once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.report import SimulationResult
+from repro.sim.config import SimulationConfig
+from repro.sim.ssd import SSDSimulator
+from repro.workloads.datacenter import DATACENTER_TRACE_NAMES, generate_datacenter_trace
+from repro.workloads.request import IORequest
+
+#: The three schedulers most figures compare, plus the two Sprinkler ablations.
+ALL_SCHEDULERS = ("VAS", "PAS", "SPK1", "SPK2", "SPK3")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs controlling how big (and slow) an experiment run is.
+
+    ``quick()`` keeps every experiment in the seconds range so the benchmark
+    suite stays runnable on a laptop; ``paper()`` approaches the paper's own
+    request counts (hours of CPU in pure Python).
+    """
+
+    requests_per_trace: int = 200
+    requests_per_point: int = 48
+    num_chips: int = 64
+    traces: Tuple[str, ...] = DATACENTER_TRACE_NAMES
+    seed: int = 7
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """Small scale used by the benchmark suite and CI."""
+        return cls(
+            requests_per_trace=160,
+            requests_per_point=32,
+            num_chips=64,
+            traces=("cfs0", "cfs3", "hm0", "msnfs1", "msnfs3", "proj0", "proj2", "proj4"),
+        )
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """Closer to the paper's scale (slow in pure Python)."""
+        return cls(requests_per_trace=3000, requests_per_point=256, num_chips=64)
+
+
+def default_trace_set(scale: ExperimentScale) -> Dict[str, List[IORequest]]:
+    """Generate the datacenter traces used by the trace-driven figures."""
+    return {
+        name: generate_datacenter_trace(
+            name, num_requests=scale.requests_per_trace, seed=scale.seed
+        )
+        for name in scale.traces
+    }
+
+
+def clone_workload(workload: Sequence[IORequest]) -> List[IORequest]:
+    """Deep-copy a workload so each simulation run starts from pristine state.
+
+    The simulator stamps completion times onto the request objects, so reusing
+    the same objects across runs would leak state between schedulers.
+    """
+    return [
+        IORequest(
+            kind=io.kind,
+            offset_bytes=io.offset_bytes,
+            size_bytes=io.size_bytes,
+            arrival_ns=io.arrival_ns,
+            force_unit_access=io.force_unit_access,
+        )
+        for io in workload
+    ]
+
+
+def run_single(
+    workload: Sequence[IORequest],
+    scheduler: str,
+    config: SimulationConfig,
+    workload_name: str,
+    scheduler_options: Optional[Dict[str, object]] = None,
+) -> SimulationResult:
+    """Run one (workload, scheduler) pair on a fresh simulator."""
+    simulator = SSDSimulator(config, scheduler, scheduler_options=scheduler_options)
+    return simulator.run(clone_workload(workload), workload_name=workload_name)
+
+
+def run_scheduler_matrix(
+    workloads: Dict[str, Sequence[IORequest]],
+    schedulers: Iterable[str],
+    config: SimulationConfig,
+    *,
+    config_per_scheduler: Optional[Callable[[str], SimulationConfig]] = None,
+    scheduler_options: Optional[Dict[str, Dict[str, object]]] = None,
+) -> Dict[Tuple[str, str], SimulationResult]:
+    """Run every scheduler against every workload.
+
+    Returns a mapping ``(workload_name, scheduler_name) -> SimulationResult``.
+    ``config_per_scheduler`` lets an experiment vary the device configuration
+    with the scheduler (e.g. disabling the readdressing callback for VAS/PAS).
+    """
+    results: Dict[Tuple[str, str], SimulationResult] = {}
+    for workload_name, workload in workloads.items():
+        for scheduler in schedulers:
+            cfg = config_per_scheduler(scheduler) if config_per_scheduler else config
+            options = (scheduler_options or {}).get(scheduler)
+            results[(workload_name, scheduler)] = run_single(
+                workload, scheduler, cfg, workload_name, scheduler_options=options
+            )
+    return results
+
+
+def paper_config(scale: ExperimentScale, **overrides) -> SimulationConfig:
+    """The evaluation-platform configuration at the experiment's chip count."""
+    return SimulationConfig.paper_scale(scale.num_chips, **overrides)

@@ -1,0 +1,141 @@
+"""Flash chip state.
+
+A chip bundles dies and planes behind a single multiplexed interface and a
+chip-enable (CE) pin.  Only one flash transaction can occupy the chip at a
+time (the R/B signal is asserted while it executes); the dies and planes
+inside it provide the flash-level parallelism exploited by die interleaving
+and plane sharing.
+
+The :class:`FlashChip` object tracks:
+
+* the busy/idle state of the chip (``busy_until``),
+* per-plane physical block state (through :class:`repro.flash.plane.Plane`),
+* occupancy statistics used for the utilisation, idleness and execution
+  breakdown analyses of the paper (Figures 11, 13, 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.flash.geometry import SSDGeometry
+from repro.flash.plane import Plane
+
+
+@dataclass
+class ChipStats:
+    """Accumulated occupancy statistics for one chip."""
+
+    busy_time_ns: int = 0
+    cell_time_ns: int = 0
+    bus_time_ns: int = 0
+    bus_wait_ns: int = 0
+    die_active_time_ns: int = 0
+    transactions: int = 0
+    requests_served: int = 0
+    gc_transactions: int = 0
+    last_busy_start_ns: Optional[int] = None
+
+
+class FlashChip:
+    """One NAND package: dies x planes behind a shared interface."""
+
+    def __init__(self, chip_key: tuple, geometry: SSDGeometry) -> None:
+        self.chip_key = chip_key
+        self.geometry = geometry
+        self.busy_until: int = 0
+        self.stats = ChipStats()
+        channel, chip = chip_key
+        self.planes: Dict[tuple, Plane] = {}
+        for die in range(geometry.dies_per_chip):
+            for plane in range(geometry.planes_per_die):
+                key = (channel, chip, die, plane)
+                self.planes[key] = Plane(
+                    plane_key=key,
+                    blocks_per_plane=geometry.blocks_per_plane,
+                    pages_per_block=geometry.pages_per_block,
+                )
+
+    # ------------------------------------------------------------------
+    # Busy / idle state
+    # ------------------------------------------------------------------
+    def is_busy(self, now_ns: int) -> bool:
+        """True while the chip's R/B signal is asserted."""
+        return now_ns < self.busy_until
+
+    def occupy(self, start_ns: int, end_ns: int) -> None:
+        """Mark the chip busy for the interval [start_ns, end_ns]."""
+        if end_ns < start_ns:
+            raise ValueError("occupation interval must not be negative")
+        self.busy_until = max(self.busy_until, end_ns)
+        self.stats.busy_time_ns += end_ns - start_ns
+        self.stats.last_busy_start_ns = start_ns
+
+    # ------------------------------------------------------------------
+    # Plane access
+    # ------------------------------------------------------------------
+    def plane(self, die: int, plane: int) -> Plane:
+        """Return the plane object at (die, plane) inside this chip."""
+        channel, chip = self.chip_key
+        return self.planes[(channel, chip, die, plane)]
+
+    def iter_planes(self):
+        """Iterate over all plane objects of this chip."""
+        return iter(self.planes.values())
+
+    @property
+    def free_pages(self) -> int:
+        """Total number of programmable pages left in the chip."""
+        return sum(plane.free_pages for plane in self.planes.values())
+
+    @property
+    def total_pages(self) -> int:
+        """Total number of physical pages in the chip."""
+        return self.geometry.pages_per_chip
+
+    # ------------------------------------------------------------------
+    # Statistics helpers
+    # ------------------------------------------------------------------
+    def record_transaction(
+        self,
+        *,
+        num_requests: int,
+        num_dies: int,
+        cell_time_ns: int,
+        bus_time_ns: int,
+        bus_wait_ns: int,
+        die_active_time_ns: int,
+        is_gc: bool = False,
+    ) -> None:
+        """Record the resource footprint of one executed transaction."""
+        self.stats.transactions += 1
+        self.stats.requests_served += num_requests
+        self.stats.cell_time_ns += cell_time_ns
+        self.stats.bus_time_ns += bus_time_ns
+        self.stats.bus_wait_ns += bus_wait_ns
+        self.stats.die_active_time_ns += die_active_time_ns
+        if is_gc:
+            self.stats.gc_transactions += 1
+
+    def utilization(self, makespan_ns: int) -> float:
+        """Fraction of the observation window the chip spent busy."""
+        if makespan_ns <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time_ns / makespan_ns)
+
+    def intra_chip_idleness(self) -> float:
+        """Unused die-time fraction while the chip was busy.
+
+        During a busy interval the chip exposes ``dies_per_chip`` dies worth
+        of potential cell activity; anything not covered by die-level cell
+        operations is intra-chip idleness (paper Section 1 / Figure 11b).
+        """
+        potential = self.stats.busy_time_ns * self.geometry.dies_per_chip
+        if potential <= 0:
+            return 0.0
+        used = min(self.stats.die_active_time_ns, potential)
+        return 1.0 - used / potential
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FlashChip(key={self.chip_key}, busy_until={self.busy_until})"

@@ -1,0 +1,193 @@
+"""Plane and block state tracking.
+
+The FTL and the garbage collector need to know, for every plane, which
+blocks are free, which pages inside a block still hold valid data, and how
+many erase cycles each block has seen.  The classes here hold exactly that
+state; they perform no timing - timing lives in the controller/simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class Block:
+    """Erase-unit bookkeeping: per-page valid/used bits and erase count.
+
+    The valid bits are stored as an integer bitmask so that SSDs with
+    thousands of chips (Figure 1 and Figure 15 sweeps) stay memory-cheap.
+    """
+
+    __slots__ = ("block_id", "pages_per_block", "write_pointer", "_valid_bits", "erase_count", "is_bad")
+
+    def __init__(self, block_id: int, pages_per_block: int) -> None:
+        self.block_id = block_id
+        self.pages_per_block = pages_per_block
+        self.write_pointer = 0
+        self._valid_bits = 0
+        self.erase_count = 0
+        self.is_bad = False
+
+    @property
+    def is_full(self) -> bool:
+        """True once every page of the block has been programmed."""
+        return self.write_pointer >= self.pages_per_block
+
+    @property
+    def is_free(self) -> bool:
+        """True when the block has never been written since its last erase."""
+        return self.write_pointer == 0
+
+    @property
+    def valid(self) -> List[bool]:
+        """Per-page valid bits as a list (convenience view for callers/tests)."""
+        return [bool(self._valid_bits & (1 << page)) for page in range(self.pages_per_block)]
+
+    def is_valid(self, page: int) -> bool:
+        """True when ``page`` currently holds live data."""
+        if not 0 <= page < self.pages_per_block:
+            raise ValueError(f"page {page} out of range")
+        return bool(self._valid_bits & (1 << page))
+
+    @property
+    def valid_count(self) -> int:
+        """Number of pages currently holding valid (live) data."""
+        return bin(self._valid_bits).count("1")
+
+    @property
+    def invalid_count(self) -> int:
+        """Number of programmed pages whose data has been superseded."""
+        return self.write_pointer - self.valid_count
+
+    def program_next(self) -> int:
+        """Consume the next free page of the block and mark it valid.
+
+        Returns the page index that was programmed.  Raises ``RuntimeError``
+        if the block is already full - the caller (the allocator) must have
+        rotated to a fresh block first.
+        """
+        if self.is_full:
+            raise RuntimeError(f"block {self.block_id} is full")
+        page = self.write_pointer
+        self._valid_bits |= 1 << page
+        self.write_pointer += 1
+        return page
+
+    def invalidate(self, page: int) -> None:
+        """Mark a previously-programmed page as stale."""
+        if not 0 <= page < self.pages_per_block:
+            raise ValueError(f"page {page} out of range")
+        self._valid_bits &= ~(1 << page)
+
+    def erase(self) -> None:
+        """Erase the block: clear all pages and bump the erase count."""
+        self.write_pointer = 0
+        self._valid_bits = 0
+        self.erase_count += 1
+
+    def mark_bad(self) -> None:
+        """Retire the block permanently (bad-block management)."""
+        self.is_bad = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Block(id={self.block_id}, used={self.write_pointer}/{self.pages_per_block}, "
+            f"valid={self.valid_count}, erases={self.erase_count})"
+        )
+
+
+class Plane:
+    """One memory array of a die: a set of blocks plus an active write block."""
+
+    def __init__(self, plane_key: tuple, blocks_per_plane: int, pages_per_block: int) -> None:
+        self.plane_key = plane_key
+        self.pages_per_block = pages_per_block
+        self.blocks: List[Block] = [Block(i, pages_per_block) for i in range(blocks_per_plane)]
+        self.active_block_id: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Capacity queries
+    # ------------------------------------------------------------------
+    @property
+    def num_blocks(self) -> int:
+        """Number of (good) blocks in the plane, bad blocks excluded."""
+        return sum(1 for block in self.blocks if not block.is_bad)
+
+    @property
+    def free_blocks(self) -> int:
+        """Number of blocks with no programmed pages."""
+        return sum(1 for block in self.blocks if block.is_free and not block.is_bad)
+
+    @property
+    def free_pages(self) -> int:
+        """Total number of programmable pages remaining in the plane."""
+        return sum(
+            block.pages_per_block - block.write_pointer
+            for block in self.blocks
+            if not block.is_bad
+        )
+
+    @property
+    def valid_pages(self) -> int:
+        """Total number of live pages in the plane."""
+        return sum(block.valid_count for block in self.blocks if not block.is_bad)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate_page(self) -> tuple:
+        """Allocate the next free page of the plane.
+
+        Returns ``(block_id, page_id)``.  Rotates the active block when the
+        current one fills up.  Raises ``RuntimeError`` when the plane is
+        completely full - at that point the garbage collector must reclaim
+        space before new writes can be placed here.
+        """
+        block = self._active_block()
+        if block is None:
+            raise RuntimeError(f"plane {self.plane_key} has no free pages")
+        page = block.program_next()
+        return block.block_id, page
+
+    def _active_block(self) -> Optional[Block]:
+        if self.active_block_id is not None:
+            block = self.blocks[self.active_block_id]
+            if not block.is_full and not block.is_bad:
+                return block
+        for block in self.blocks:
+            if block.is_bad or block.is_full:
+                continue
+            if block.is_free or block.block_id == self.active_block_id:
+                self.active_block_id = block.block_id
+                return block
+        # Fall back to any block with room (partially written, not active).
+        for block in self.blocks:
+            if not block.is_bad and not block.is_full:
+                self.active_block_id = block.block_id
+                return block
+        return None
+
+    # ------------------------------------------------------------------
+    # Garbage collection support
+    # ------------------------------------------------------------------
+    def victim_candidates(self) -> List[Block]:
+        """Blocks eligible for garbage collection (full, not bad, not active)."""
+        return [
+            block
+            for block in self.blocks
+            if block.is_full and not block.is_bad and block.block_id != self.active_block_id
+        ]
+
+    def greedy_victim(self) -> Optional[Block]:
+        """Victim with the fewest valid pages (greedy GC policy)."""
+        candidates = self.victim_candidates()
+        if not candidates:
+            return None
+        return min(candidates, key=lambda block: (block.valid_count, block.block_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Plane(key={self.plane_key}, free_blocks={self.free_blocks}/"
+            f"{len(self.blocks)})"
+        )

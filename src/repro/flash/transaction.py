@@ -1,0 +1,264 @@
+"""Flash transactions and the transaction builder.
+
+A *flash transaction* (paper Section 2.2) is the series of commands, data
+movements and cell activities a flash controller executes on one chip for a
+group of memory requests.  The degree of flash-level parallelism (FLP) of the
+transaction depends on how the grouped requests are spread over the chip's
+dies and planes:
+
+* requests on different dies can be *die interleaved*;
+* requests on different planes of the same die can be served by a single
+  *multiplane* (plane-sharing) operation, subject to the plane-address
+  constraint of real NAND parts;
+* both can be combined, yielding the highest FLP (PAL3).
+
+The :class:`TransactionBuilder` implements the controller-side coalescing:
+given the memory requests currently committed for a chip, it selects the
+largest group that can legally form one transaction.  The builder is shared
+by every scheduler evaluated in the paper - as the paper notes (Figure 8
+caption), transaction composition is not part of the scheduling contribution;
+what differs between schedulers is *which requests are present* at the
+decision instant.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.flash.commands import (
+    FlashOp,
+    ParallelismClass,
+    TransactionKind,
+    classify_parallelism,
+    kind_for_parallelism,
+)
+from repro.flash.geometry import SSDGeometry
+from repro.flash.request import MemoryRequest
+from repro.flash.timing import FlashTiming
+
+_transaction_ids = itertools.count()
+
+
+def reset_transaction_ids() -> None:
+    """Reset the global transaction id counter (used by tests)."""
+    global _transaction_ids
+    _transaction_ids = itertools.count()
+
+
+@dataclass
+class FlashTransaction:
+    """A group of memory requests executed as one unit on a single chip."""
+
+    chip_key: tuple
+    requests: List[MemoryRequest]
+    kind: TransactionKind
+    parallelism: ParallelismClass
+    transaction_id: int = field(default_factory=lambda: next(_transaction_ids))
+
+    # Timing, filled by the controller when the transaction is executed.
+    bus_time_ns: int = 0
+    cell_time_ns: int = 0
+    issued_at_ns: Optional[int] = None
+    bus_started_at_ns: Optional[int] = None
+    completed_at_ns: Optional[int] = None
+    bus_wait_ns: int = 0
+    is_gc: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a transaction must contain at least one memory request")
+        chips = {req.chip_key for req in self.requests}
+        if len(chips) != 1:
+            raise ValueError(f"a transaction must target a single chip, got {chips}")
+        if next(iter(chips)) != self.chip_key:
+            raise ValueError("transaction chip_key does not match its requests")
+
+    @property
+    def num_requests(self) -> int:
+        """Number of memory requests coalesced into this transaction."""
+        return len(self.requests)
+
+    @property
+    def dies(self) -> List[int]:
+        """Sorted list of distinct die indices the transaction touches."""
+        return sorted({req.address.die for req in self.requests})
+
+    @property
+    def planes_by_die(self) -> Dict[int, List[int]]:
+        """Mapping of die index to the sorted list of planes used in that die."""
+        planes: Dict[int, set] = {}
+        for req in self.requests:
+            planes.setdefault(req.address.die, set()).add(req.address.plane)
+        return {die: sorted(vals) for die, vals in planes.items()}
+
+    @property
+    def io_ids(self) -> List[int]:
+        """Sorted list of distinct host I/O requests represented."""
+        return sorted({req.io_id for req in self.requests})
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload moved over the bus by this transaction."""
+        return sum(req.size_bytes for req in self.requests)
+
+    @property
+    def service_time_ns(self) -> int:
+        """Bus plus cell occupancy of the transaction (excludes bus waiting)."""
+        return self.bus_time_ns + self.cell_time_ns
+
+
+@dataclass(frozen=True)
+class TransactionConstraints:
+    """Configurable legality rules for coalescing requests into a transaction.
+
+    ``strict_multiplane`` enforces the real-NAND restriction that plane-shared
+    pages must sit at the same page offset (and, when
+    ``same_block_offset_for_multiplane`` is set, the same block offset) in
+    every plane.  The paper's FARO examples assume the FTL allocates pages so
+    that this constraint can be met, therefore the default is the relaxed
+    model; the strict model is available for ablation studies.
+    """
+
+    max_requests_per_transaction: int = 64
+    strict_multiplane: bool = False
+    same_block_offset_for_multiplane: bool = False
+    single_operation_per_transaction: bool = True
+
+
+class TransactionBuilder:
+    """Coalesces committed memory requests into legal flash transactions."""
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        timing: FlashTiming,
+        constraints: Optional[TransactionConstraints] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.timing = timing
+        self.constraints = constraints or TransactionConstraints()
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def select(self, pending: Sequence[MemoryRequest]) -> List[MemoryRequest]:
+        """Pick the subset of ``pending`` that the next transaction will carry.
+
+        The selection greedily walks the pending list in order (the scheduler
+        already ordered it according to its policy) and accepts a request if
+        adding it keeps the transaction legal:
+
+        * all requests must be the same operation kind (read vs program) when
+          ``single_operation_per_transaction`` is set,
+        * at most one request per plane (a plane register can hold one page),
+        * under strict multiplane rules, plane-shared requests must share the
+          page offset (and optionally block offset).
+        """
+        if not pending:
+            return []
+        selected: List[MemoryRequest] = []
+        used_planes: set = set()
+        op: Optional[FlashOp] = None
+        limit = self.constraints.max_requests_per_transaction
+        for req in pending:
+            if len(selected) >= limit:
+                break
+            if req.address is None:
+                continue
+            if op is None:
+                op = req.op
+            elif self.constraints.single_operation_per_transaction and req.op is not op:
+                continue
+            plane_key = (req.address.die, req.address.plane)
+            if plane_key in used_planes:
+                continue
+            if self.constraints.strict_multiplane and not self._multiplane_compatible(
+                selected, req
+            ):
+                continue
+            selected.append(req)
+            used_planes.add(plane_key)
+        return selected
+
+    def _multiplane_compatible(
+        self, selected: Sequence[MemoryRequest], candidate: MemoryRequest
+    ) -> bool:
+        """Check the strict plane-sharing address constraint."""
+        for req in selected:
+            if req.address.die != candidate.address.die:
+                continue
+            if req.address.page != candidate.address.page:
+                return False
+            if (
+                self.constraints.same_block_offset_for_multiplane
+                and req.address.block != candidate.address.block
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self, chip_key: tuple, requests: Sequence[MemoryRequest]) -> FlashTransaction:
+        """Build a transaction from already-selected requests and price it."""
+        requests = list(requests)
+        if not requests:
+            raise ValueError("cannot build an empty transaction")
+        num_dies = len({req.address.die for req in requests})
+        planes_per_die: Dict[int, set] = {}
+        for req in requests:
+            planes_per_die.setdefault(req.address.die, set()).add(req.address.plane)
+        max_planes = max(len(planes) for planes in planes_per_die.values())
+        parallelism = classify_parallelism(num_dies, max_planes)
+        kind = kind_for_parallelism(parallelism)
+        if all(req.op is FlashOp.ERASE for req in requests):
+            kind = TransactionKind.ERASE
+        transaction = FlashTransaction(
+            chip_key=chip_key,
+            requests=requests,
+            kind=kind,
+            parallelism=parallelism,
+        )
+        transaction.bus_time_ns = self._bus_time_ns(transaction)
+        transaction.cell_time_ns = self._cell_time_ns(transaction)
+        transaction.is_gc = all(req.is_gc for req in requests)
+        return transaction
+
+    def build_from_pending(
+        self, chip_key: tuple, pending: Sequence[MemoryRequest]
+    ) -> Optional[FlashTransaction]:
+        """Select a legal subset of ``pending`` and build a transaction from it."""
+        selected = self.select(pending)
+        if not selected:
+            return None
+        return self.build(chip_key, selected)
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def _bus_time_ns(self, transaction: FlashTransaction) -> int:
+        """Channel occupancy: per-request command + data cycles, serialised."""
+        per_request = sum(
+            self.timing.request_bus_time_ns(req.size_bytes)
+            for req in transaction.requests
+            if req.op.moves_data
+        )
+        return self.timing.transaction_overhead_ns + per_request
+
+    def _cell_time_ns(self, transaction: FlashTransaction) -> int:
+        """Array occupancy of the transaction.
+
+        Cell activities of different dies overlap (die interleaving) and the
+        planes of one die are activated together by the multiplane command,
+        so the cell time is the maximum over dies of the slowest per-die
+        operation.
+        """
+        per_die: Dict[int, int] = {}
+        for req in transaction.requests:
+            latency = self.timing.cell_latency_ns(req.op, req.address.page)
+            die = req.address.die
+            per_die[die] = max(per_die.get(die, 0), latency)
+        penalty = sum(req.penalty_ns for req in transaction.requests)
+        return max(per_die.values()) + penalty

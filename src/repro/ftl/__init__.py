@@ -1,0 +1,27 @@
+"""Flash Translation Layer substrate.
+
+The FTL runs on the SSD's embedded core (paper Section 2.1): it translates
+host logical page numbers into physical flash addresses, allocates pages for
+writes, keeps valid/invalid bookkeeping, reclaims space through garbage
+collection, tracks wear and remaps bad blocks, and - specific to Sprinkler -
+invokes the *readdressing callback* so the device-level scheduler can follow
+live data migrations.
+"""
+
+from repro.ftl.allocation import AllocationOrder, PageAllocator
+from repro.ftl.mapping import PageMapFTL
+from repro.ftl.garbage_collector import GarbageCollector, GCJob
+from repro.ftl.wear_leveling import WearLeveler
+from repro.ftl.bad_block import BadBlockManager
+from repro.ftl.callbacks import ReaddressingCallback
+
+__all__ = [
+    "AllocationOrder",
+    "PageAllocator",
+    "PageMapFTL",
+    "GarbageCollector",
+    "GCJob",
+    "WearLeveler",
+    "BadBlockManager",
+    "ReaddressingCallback",
+]

@@ -1,0 +1,150 @@
+"""Page allocation strategies.
+
+The order in which the FTL stripes consecutive logical pages across the
+SSD's resources determines how much system-level and flash-level parallelism
+a single I/O request can reach (the "page allocation schemes" the paper cites
+[16, 36, 13]).  The default order - channel, then way (chip), then die, then
+plane - maximises channel striping for sequential traffic, which is the
+common choice in the literature and the layout the paper's examples assume.
+
+The allocator owns one write point per plane and hands out free pages in the
+configured striping order.  It is used both for the *static* layout (the
+physical home of never-written logical pages) and for *dynamic* allocation of
+new page versions on writes.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Iterator, Optional, Sequence
+
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import PhysicalPageAddress, SSDGeometry
+
+
+class AllocationOrder(enum.Enum):
+    """Striping order for consecutive allocations."""
+
+    CHANNEL_WAY_DIE_PLANE = "channel_way_die_plane"
+    WAY_CHANNEL_DIE_PLANE = "way_channel_die_plane"
+    CHANNEL_DIE_PLANE_WAY = "channel_die_plane_way"
+    PLANE_DIE_WAY_CHANNEL = "plane_die_way_channel"
+
+
+def _dimension_sizes(geometry: SSDGeometry) -> Dict[str, int]:
+    return {
+        "channel": geometry.num_channels,
+        "way": geometry.chips_per_channel,
+        "die": geometry.dies_per_chip,
+        "plane": geometry.planes_per_die,
+    }
+
+
+_ORDER_FIELDS = {
+    AllocationOrder.CHANNEL_WAY_DIE_PLANE: ("channel", "way", "die", "plane"),
+    AllocationOrder.WAY_CHANNEL_DIE_PLANE: ("way", "channel", "die", "plane"),
+    AllocationOrder.CHANNEL_DIE_PLANE_WAY: ("channel", "die", "plane", "way"),
+    AllocationOrder.PLANE_DIE_WAY_CHANNEL: ("plane", "die", "way", "channel"),
+}
+
+
+class PageAllocator:
+    """Round-robin page allocator over the SSD's planes."""
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        chips: Dict[tuple, FlashChip],
+        order: AllocationOrder = AllocationOrder.CHANNEL_WAY_DIE_PLANE,
+    ) -> None:
+        self.geometry = geometry
+        self.chips = chips
+        self.order = order
+        self._plane_sequence = list(self._iter_plane_keys())
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # Plane traversal
+    # ------------------------------------------------------------------
+    def _iter_plane_keys(self) -> Iterator[tuple]:
+        """Yield (channel, chip, die, plane) keys in the configured order."""
+        sizes = _dimension_sizes(self.geometry)
+        fields = _ORDER_FIELDS[self.order]
+        # The first field varies fastest.
+        ranges = [range(sizes[name]) for name in reversed(fields)]
+        for combo in itertools.product(*ranges):
+            values = dict(zip(reversed(fields), combo))
+            yield (values["channel"], values["way"], values["die"], values["plane"])
+
+    @property
+    def plane_sequence(self) -> Sequence[tuple]:
+        """The striping sequence of plane keys used by this allocator."""
+        return tuple(self._plane_sequence)
+
+    def plane_for_stripe(self, stripe_index: int) -> tuple:
+        """Plane key hosting the ``stripe_index``-th page of a striped layout."""
+        return self._plane_sequence[stripe_index % len(self._plane_sequence)]
+
+    # ------------------------------------------------------------------
+    # Static layout
+    # ------------------------------------------------------------------
+    def static_address(self, lpn: int) -> PhysicalPageAddress:
+        """Deterministic physical home of a logical page that was never written.
+
+        Logical pages are striped across planes in the allocation order;
+        within a plane they fill blocks sequentially.  The result is the
+        layout a freshly-imaged SSD would exhibit, used to serve reads of
+        never-written data.
+        """
+        if lpn < 0:
+            raise ValueError("lpn must be non-negative")
+        num_planes = len(self._plane_sequence)
+        stripe, within_plane = lpn % num_planes, lpn // num_planes
+        channel, chip, die, plane = self._plane_sequence[stripe]
+        pages_per_plane = self.geometry.pages_per_plane
+        within_plane %= pages_per_plane
+        block, page = divmod(within_plane, self.geometry.pages_per_block)
+        return PhysicalPageAddress(
+            channel=channel, chip=chip, die=die, plane=plane, block=block, page=page
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic allocation
+    # ------------------------------------------------------------------
+    def allocate(self, preferred_plane: Optional[tuple] = None) -> PhysicalPageAddress:
+        """Allocate a free physical page for a new write.
+
+        When ``preferred_plane`` is given (GC migrations stay inside their
+        plane to keep copyback legal) the page is taken from that plane;
+        otherwise the allocator round-robins across planes in striping order.
+        Raises ``RuntimeError`` when the whole SSD is out of free pages.
+        """
+        if preferred_plane is not None:
+            address = self._allocate_in_plane(preferred_plane)
+            if address is not None:
+                return address
+            # Preferred plane full: fall through to the global round-robin.
+        num_planes = len(self._plane_sequence)
+        for step in range(num_planes):
+            plane_key = self._plane_sequence[(self._cursor + step) % num_planes]
+            address = self._allocate_in_plane(plane_key)
+            if address is not None:
+                self._cursor = (self._cursor + step + 1) % num_planes
+                return address
+        raise RuntimeError("SSD is out of free pages; garbage collection cannot keep up")
+
+    def _allocate_in_plane(self, plane_key: tuple) -> Optional[PhysicalPageAddress]:
+        channel, chip, die, plane = plane_key
+        chip_obj = self.chips[(channel, chip)]
+        plane_obj = chip_obj.plane(die, plane)
+        if plane_obj.free_pages == 0:
+            return None
+        block, page = plane_obj.allocate_page()
+        return PhysicalPageAddress(
+            channel=channel, chip=chip, die=die, plane=plane, block=block, page=page
+        )
+
+    def free_pages(self) -> int:
+        """Total number of free pages across the SSD."""
+        return sum(chip.free_pages for chip in self.chips.values())

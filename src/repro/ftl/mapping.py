@@ -1,0 +1,208 @@
+"""Page-level address mapping FTL.
+
+The paper's evaluation uses "a pure page-level address mapping FTL" (Section
+5.1).  :class:`PageMapFTL` keeps a logical-to-physical map plus the reverse
+map needed by garbage collection, performs dynamic page allocation for
+writes, and exposes migration hooks used by GC, wear levelling and bad-block
+replacement.  All timing is handled elsewhere; the FTL is pure bookkeeping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import PhysicalPageAddress, SSDGeometry
+from repro.ftl.allocation import AllocationOrder, PageAllocator
+
+
+@dataclass
+class FTLStats:
+    """Counters describing FTL activity."""
+
+    host_writes: int = 0
+    host_reads: int = 0
+    gc_writes: int = 0
+    invalidations: int = 0
+    migrations: int = 0
+
+
+MigrationListener = Callable[[int, PhysicalPageAddress, PhysicalPageAddress], None]
+
+
+class PageMapFTL:
+    """Pure page-mapped FTL with dynamic allocation and migration support."""
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        chips: Dict[tuple, FlashChip],
+        allocation_order: AllocationOrder = AllocationOrder.CHANNEL_WAY_DIE_PLANE,
+    ) -> None:
+        self.geometry = geometry
+        self.chips = chips
+        self.allocator = PageAllocator(geometry, chips, allocation_order)
+        self._map: Dict[int, PhysicalPageAddress] = {}
+        self._reverse: Dict[PhysicalPageAddress, int] = {}
+        self.stats = FTLStats()
+        self._migration_listeners: List[MigrationListener] = []
+
+    # ------------------------------------------------------------------
+    # Listener registration (readdressing callback, metrics, ...)
+    # ------------------------------------------------------------------
+    def add_migration_listener(self, listener: MigrationListener) -> None:
+        """Register a callable invoked as (lpn, old_address, new_address)."""
+        self._migration_listeners.append(listener)
+
+    def _notify_migration(
+        self, lpn: int, old: PhysicalPageAddress, new: PhysicalPageAddress
+    ) -> None:
+        for listener in self._migration_listeners:
+            listener(lpn, old, new)
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+    def translate_read(self, lpn: int) -> PhysicalPageAddress:
+        """Physical location of a logical page for a read.
+
+        Never-written pages resolve to their static (striped) home so reads
+        of a pristine drive still exercise the full resource layout.
+        """
+        self.stats.host_reads += 1
+        address = self._map.get(lpn)
+        if address is not None:
+            return address
+        return self.allocator.static_address(lpn)
+
+    def translate_write(self, lpn: int) -> PhysicalPageAddress:
+        """Allocate a fresh physical page for a write and update the map."""
+        old = self._map.get(lpn)
+        if old is not None:
+            self._invalidate_physical(old)
+        address = self.allocator.allocate()
+        self._map[lpn] = address
+        self._reverse[address] = lpn
+        self.stats.host_writes += 1
+        return address
+
+    def lookup(self, lpn: int) -> Optional[PhysicalPageAddress]:
+        """Current mapping of a logical page, or ``None`` if never written."""
+        return self._map.get(lpn)
+
+    def reverse_lookup(self, address: PhysicalPageAddress) -> Optional[int]:
+        """Logical page stored at a physical address, or ``None`` if stale/free."""
+        return self._reverse.get(address)
+
+    @property
+    def mapped_pages(self) -> int:
+        """Number of logical pages with a live physical mapping."""
+        return len(self._map)
+
+    # ------------------------------------------------------------------
+    # Invalidation and migration
+    # ------------------------------------------------------------------
+    def _invalidate_physical(self, address: PhysicalPageAddress) -> None:
+        chip = self.chips[address.chip_key]
+        plane = chip.plane(address.die, address.plane)
+        plane.blocks[address.block].invalidate(address.page)
+        self._reverse.pop(address, None)
+        self.stats.invalidations += 1
+
+    def migrate_page(
+        self, lpn: int, preferred_plane: Optional[tuple] = None
+    ) -> Tuple[PhysicalPageAddress, PhysicalPageAddress]:
+        """Move a live logical page to a new physical location.
+
+        Used by garbage collection, wear levelling and bad-block replacement.
+        Returns ``(old_address, new_address)`` and fires the migration
+        listeners (the readdressing callback among them).
+        """
+        old = self._map.get(lpn)
+        if old is None:
+            raise KeyError(f"lpn {lpn} has no live mapping to migrate")
+        new = self.allocator.allocate(preferred_plane=preferred_plane)
+        self._invalidate_physical(old)
+        self._map[lpn] = new
+        self._reverse[new] = lpn
+        self.stats.migrations += 1
+        self.stats.gc_writes += 1
+        self._notify_migration(lpn, old, new)
+        return old, new
+
+    def erase_block(self, chip_key: tuple, die: int, plane: int, block: int) -> None:
+        """Erase a block after its valid pages have been migrated away."""
+        chip = self.chips[chip_key]
+        plane_obj = chip.plane(die, plane)
+        block_obj = plane_obj.blocks[block]
+        # Drop reverse mappings of any straggler pages (there should be none
+        # after migration, but stale entries must never survive an erase).
+        channel, chip_idx = chip_key
+        for page in range(block_obj.pages_per_block):
+            address = PhysicalPageAddress(
+                channel=channel, chip=chip_idx, die=die, plane=plane, block=block, page=page
+            )
+            lpn = self._reverse.pop(address, None)
+            if lpn is not None and self._map.get(lpn) == address:
+                del self._map[lpn]
+        block_obj.erase()
+
+    # ------------------------------------------------------------------
+    # Occupancy helpers
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Fraction of physical pages holding live data."""
+        total = self.geometry.total_pages
+        if total == 0:
+            return 0.0
+        return len(self._map) / total
+
+    def fill(
+        self,
+        fraction: float,
+        *,
+        start_lpn: int = 0,
+        overwrite_fraction: float = 0.0,
+        seed: int = 12345,
+    ) -> int:
+        """Pre-condition the SSD by writing ``fraction`` of its physical space.
+
+        Used to create the "fragmented SSD filled by 95%" starting point of
+        the GC experiment (Figure 17).  ``overwrite_fraction`` is the share
+        of the pre-conditioning writes that are *overwrites* of already
+        written logical pages, chosen pseudo-randomly (seeded, so runs are
+        reproducible).  The overwrites scatter invalid pages across every
+        block - exactly what a drive that was filled by random writes looks
+        like, and what makes greedy garbage collection productive rather
+        than pure thrash.
+
+        Returns the number of page writes performed.  Bookkeeping only - no
+        time is simulated.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if not 0.0 <= overwrite_fraction < 1.0:
+            raise ValueError("overwrite_fraction must be in [0, 1)")
+        overwrites = int(self.geometry.total_pages * fraction * overwrite_fraction)
+        target = int(self.geometry.total_pages * fraction) - overwrites
+        written = 0
+        lpn = start_lpn
+        while written < target:
+            self.translate_write(lpn)
+            lpn += 1
+            written += 1
+        filled = max(1, lpn - start_lpn)
+        # Overwrite a pseudo-random subset of the filled logical pages so the
+        # surviving valid pages are spread uniformly across blocks (no
+        # correlation with the plane/block striping of the first pass).
+        rng = random.Random(seed)
+        remaining = overwrites
+        while remaining > 0:
+            batch = min(remaining, filled)
+            for offset in rng.sample(range(filled), batch):
+                self.translate_write(start_lpn + offset)
+            written += batch
+            remaining -= batch
+        return written

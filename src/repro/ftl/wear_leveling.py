@@ -1,0 +1,128 @@
+"""Wear levelling.
+
+The paper lists wear levelling as one of the firmware activities that causes
+live data migration (Section 4.3) and therefore triggers the readdressing
+callback.  This module implements a simple static wear leveller: it tracks
+per-block erase counts and, when the gap between the most- and least-worn
+blocks of a plane exceeds a threshold, migrates the cold block's live data so
+the cold block can be recycled into the hot allocation pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import PhysicalPageAddress, SSDGeometry
+from repro.ftl.mapping import PageMapFTL
+
+
+@dataclass
+class WearStats:
+    """Summary of the wear distribution across the SSD."""
+
+    min_erase_count: int
+    max_erase_count: int
+    mean_erase_count: float
+    total_erases: int
+
+    @property
+    def spread(self) -> int:
+        """Difference between the most and least worn blocks."""
+        return self.max_erase_count - self.min_erase_count
+
+
+class WearLeveler:
+    """Static wear levelling based on erase-count spread."""
+
+    def __init__(
+        self,
+        geometry: SSDGeometry,
+        ftl: PageMapFTL,
+        chips: Dict[tuple, FlashChip],
+        *,
+        spread_threshold: int = 16,
+        enabled: bool = True,
+    ) -> None:
+        self.geometry = geometry
+        self.ftl = ftl
+        self.chips = chips
+        self.spread_threshold = max(1, spread_threshold)
+        self.enabled = enabled
+        self.swaps_performed = 0
+
+    # ------------------------------------------------------------------
+    # Monitoring
+    # ------------------------------------------------------------------
+    def wear_stats(self) -> WearStats:
+        """Erase-count statistics across every good block of the SSD."""
+        counts: List[int] = []
+        for chip in self.chips.values():
+            for plane in chip.iter_planes():
+                for block in plane.blocks:
+                    if not block.is_bad:
+                        counts.append(block.erase_count)
+        if not counts:
+            return WearStats(0, 0, 0.0, 0)
+        total = sum(counts)
+        return WearStats(
+            min_erase_count=min(counts),
+            max_erase_count=max(counts),
+            mean_erase_count=total / len(counts),
+            total_erases=total,
+        )
+
+    def plane_spread(self, chip_key: tuple, die: int, plane: int) -> int:
+        """Erase-count spread inside one plane."""
+        plane_obj = self.chips[chip_key].plane(die, plane)
+        counts = [block.erase_count for block in plane_obj.blocks if not block.is_bad]
+        if not counts:
+            return 0
+        return max(counts) - min(counts)
+
+    def needs_leveling(self, chip_key: tuple, die: int, plane: int) -> bool:
+        """True when the plane's wear spread exceeds the threshold."""
+        if not self.enabled:
+            return False
+        return self.plane_spread(chip_key, die, plane) >= self.spread_threshold
+
+    # ------------------------------------------------------------------
+    # Levelling action
+    # ------------------------------------------------------------------
+    def level_plane(self, chip_key: tuple, die: int, plane: int) -> List[Tuple[PhysicalPageAddress, PhysicalPageAddress]]:
+        """Migrate live data out of the coldest block of a plane.
+
+        Returns the list of (old, new) moves performed (possibly empty).  The
+        freed cold block re-enters the allocation pool, so future hot writes
+        land on it and the wear spread narrows.
+        """
+        if not self.needs_leveling(chip_key, die, plane):
+            return []
+        plane_obj = self.chips[chip_key].plane(die, plane)
+        candidates = [
+            block
+            for block in plane_obj.blocks
+            if not block.is_bad and block.write_pointer > 0 and block.valid_count > 0
+        ]
+        if not candidates:
+            return []
+        cold = min(candidates, key=lambda block: (block.erase_count, block.block_id))
+        channel, chip_idx = chip_key
+        moves: List[Tuple[PhysicalPageAddress, PhysicalPageAddress]] = []
+        for page in range(cold.pages_per_block):
+            if not cold.is_valid(page):
+                continue
+            address = PhysicalPageAddress(
+                channel=channel, chip=chip_idx, die=die, plane=plane,
+                block=cold.block_id, page=page,
+            )
+            lpn = self.ftl.reverse_lookup(address)
+            if lpn is None:
+                continue
+            moves.append(self.ftl.migrate_page(lpn))
+        if cold.valid_count == 0 and cold.write_pointer > 0:
+            self.ftl.erase_block(chip_key, die, plane, cold.block_id)
+        if moves:
+            self.swaps_performed += 1
+        return moves

@@ -1,0 +1,31 @@
+"""Metrics: everything the paper's evaluation section measures.
+
+* latency / bandwidth / IOPS / queue stall time (Figure 10),
+* inter-chip and intra-chip idleness (Figure 11),
+* execution time breakdown into bus activity, bus contention, cell activity
+  and idleness (Figure 13),
+* flash-level parallelism breakdown NON-PAL/PAL1/PAL2/PAL3 (Figure 14),
+* chip utilisation (Figures 1, 6, 15),
+* flash transaction counts / reduction rate (Figure 16).
+"""
+
+from repro.metrics.latency import LatencyStats, bandwidth_kb_per_sec, iops, percentile
+from repro.metrics.parallelism import FLPBreakdown
+from repro.metrics.breakdown import ExecutionBreakdown
+from repro.metrics.utilization import IdlenessReport, UtilizationReport
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import SimulationResult, format_table
+
+__all__ = [
+    "LatencyStats",
+    "bandwidth_kb_per_sec",
+    "iops",
+    "percentile",
+    "FLPBreakdown",
+    "ExecutionBreakdown",
+    "IdlenessReport",
+    "UtilizationReport",
+    "MetricsCollector",
+    "SimulationResult",
+    "format_table",
+]

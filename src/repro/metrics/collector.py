@@ -1,0 +1,138 @@
+"""Metrics collector wired into the simulator.
+
+The collector receives raw events from the simulator (I/O completions,
+transaction executions, queue stalls) and turns them - together with the
+final chip/channel statistics - into a :class:`~repro.metrics.report.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.flash.channel import Channel
+from repro.flash.chip import FlashChip
+from repro.flash.commands import ParallelismClass
+from repro.flash.transaction import FlashTransaction
+from repro.metrics.breakdown import ExecutionBreakdown
+from repro.metrics.latency import LatencyStats
+from repro.metrics.parallelism import FLPBreakdown
+from repro.metrics.utilization import IdlenessReport, UtilizationReport
+from repro.workloads.request import IORequest
+
+
+@dataclass
+class TimeSeriesPoint:
+    """Latency of one completed I/O, in completion order (Figure 12)."""
+
+    io_id: int
+    arrival_ns: int
+    completion_ns: int
+    latency_ns: int
+
+
+class MetricsCollector:
+    """Accumulates raw measurements during one simulation run."""
+
+    def __init__(self) -> None:
+        self.latency = LatencyStats()
+        self.flp = FLPBreakdown()
+        self.time_series: List[TimeSeriesPoint] = []
+        self.total_bytes = 0
+        self.read_bytes = 0
+        self.write_bytes = 0
+        self.completed_ios = 0
+        self.completed_reads = 0
+        self.completed_writes = 0
+        self.memory_requests_served = 0
+        self.gc_transactions = 0
+        self.gc_time_ns = 0
+        self.first_arrival_ns: Optional[int] = None
+        self.last_completion_ns: int = 0
+        self.queue_stall_time_ns = 0
+        self.stalled_requests = 0
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+    def on_io_arrival(self, io: IORequest) -> None:
+        """Record a host request arrival (establishes the observation window)."""
+        if self.first_arrival_ns is None or io.arrival_ns < self.first_arrival_ns:
+            self.first_arrival_ns = io.arrival_ns
+
+    def on_io_complete(self, io: IORequest, now_ns: int) -> None:
+        """Record a fully-served host request."""
+        latency = now_ns - io.arrival_ns
+        self.latency.add(latency)
+        self.time_series.append(
+            TimeSeriesPoint(
+                io_id=io.io_id,
+                arrival_ns=io.arrival_ns,
+                completion_ns=now_ns,
+                latency_ns=latency,
+            )
+        )
+        self.total_bytes += io.size_bytes
+        self.completed_ios += 1
+        if io.is_write:
+            self.completed_writes += 1
+            self.write_bytes += io.size_bytes
+        else:
+            self.completed_reads += 1
+            self.read_bytes += io.size_bytes
+        self.last_completion_ns = max(self.last_completion_ns, now_ns)
+
+    def on_transaction_complete(self, transaction: FlashTransaction) -> None:
+        """Record an executed flash transaction."""
+        if transaction.is_gc:
+            self.gc_transactions += 1
+            self.gc_time_ns += transaction.cell_time_ns
+            return
+        self.flp.record(transaction.parallelism, transaction.num_requests)
+        self.memory_requests_served += transaction.num_requests
+
+    def on_queue_stall(self, wait_ns: int) -> None:
+        """Record host-side backlog waiting caused by a full device queue."""
+        if wait_ns > 0:
+            self.queue_stall_time_ns += wait_ns
+            self.stalled_requests += 1
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    @property
+    def makespan_ns(self) -> int:
+        """Observation window: first arrival to last completion."""
+        if self.first_arrival_ns is None:
+            return 0
+        return max(0, self.last_completion_ns - self.first_arrival_ns)
+
+    def utilization_report(self, chips: Dict[tuple, FlashChip]) -> UtilizationReport:
+        """Per-chip utilisation over the makespan."""
+        report = UtilizationReport()
+        makespan = self.makespan_ns
+        for chip_key, chip in chips.items():
+            report.add(chip_key, chip.utilization(makespan))
+        return report
+
+    def idleness_report(self, chips: Dict[tuple, FlashChip]) -> IdlenessReport:
+        """Inter-chip and intra-chip idleness over the makespan."""
+        utilization = self.utilization_report(chips)
+        intra_values = [
+            chip.intra_chip_idleness()
+            for chip in chips.values()
+            if chip.stats.busy_time_ns > 0
+        ]
+        return IdlenessReport.from_measurements(utilization, intra_values)
+
+    def execution_breakdown(
+        self, chips: Dict[tuple, FlashChip], channels: Dict[int, Channel]
+    ) -> ExecutionBreakdown:
+        """Aggregate execution-time breakdown over all chips."""
+        makespan = self.makespan_ns
+        breakdown = ExecutionBreakdown(total_chip_time_ns=makespan * max(1, len(chips)))
+        for chip in chips.values():
+            breakdown.bus_operation_ns += chip.stats.bus_time_ns
+            breakdown.bus_contention_ns += chip.stats.bus_wait_ns
+            breakdown.memory_operation_ns += chip.stats.cell_time_ns
+        return breakdown

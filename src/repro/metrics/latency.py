@@ -1,0 +1,78 @@
+"""Latency, bandwidth and IOPS computations (Figure 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+NS_PER_S = 1_000_000_000
+
+
+def bandwidth_kb_per_sec(total_bytes: int, elapsed_ns: int) -> float:
+    """I/O bandwidth in KB/s, matching the paper's Figure 10a units."""
+    if elapsed_ns <= 0:
+        return 0.0
+    return (total_bytes / 1024.0) * NS_PER_S / elapsed_ns
+
+
+def iops(num_requests: int, elapsed_ns: int) -> float:
+    """I/O operations per second (Figure 10b)."""
+    if elapsed_ns <= 0:
+        return 0.0
+    return num_requests * NS_PER_S / elapsed_ns
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (``fraction`` in [0, 1])."""
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+@dataclass
+class LatencyStats:
+    """Per-I/O device-level latency distribution."""
+
+    samples_ns: List[int] = field(default_factory=list)
+
+    def add(self, latency_ns: int) -> None:
+        """Record the latency of one completed I/O request."""
+        if latency_ns < 0:
+            raise ValueError("latency must be non-negative")
+        self.samples_ns.append(latency_ns)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded I/Os."""
+        return len(self.samples_ns)
+
+    @property
+    def mean_ns(self) -> float:
+        """Average device-level latency (Figure 10c)."""
+        if not self.samples_ns:
+            return 0.0
+        return sum(self.samples_ns) / len(self.samples_ns)
+
+    @property
+    def max_ns(self) -> int:
+        """Worst observed latency."""
+        return max(self.samples_ns) if self.samples_ns else 0
+
+    @property
+    def min_ns(self) -> int:
+        """Best observed latency."""
+        return min(self.samples_ns) if self.samples_ns else 0
+
+    def percentile_ns(self, fraction: float) -> float:
+        """Latency percentile (e.g. 0.99 for the tail)."""
+        return percentile(self.samples_ns, fraction)
+
+    def merged_with(self, other: "LatencyStats") -> "LatencyStats":
+        """Combine two distributions (used when aggregating workloads)."""
+        merged = LatencyStats()
+        merged.samples_ns = list(self.samples_ns) + list(other.samples_ns)
+        return merged

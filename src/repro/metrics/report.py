@@ -1,0 +1,149 @@
+"""Simulation result container and table formatting.
+
+:class:`SimulationResult` is what one call to
+:meth:`repro.sim.ssd.SSDSimulator.run` returns: a frozen snapshot of every
+metric the paper's evaluation reports, with convenience properties named
+after the figures they feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.breakdown import ExecutionBreakdown
+from repro.metrics.collector import TimeSeriesPoint
+from repro.metrics.latency import LatencyStats, bandwidth_kb_per_sec, iops
+from repro.metrics.parallelism import FLPBreakdown
+from repro.metrics.utilization import IdlenessReport, UtilizationReport
+
+
+@dataclass
+class SimulationResult:
+    """All measurements from one simulation run."""
+
+    scheduler: str
+    workload: str
+    num_ios: int
+    completed_ios: int
+    total_bytes: int
+    makespan_ns: int
+    latency: LatencyStats
+    utilization: UtilizationReport
+    idleness: IdlenessReport
+    flp: FLPBreakdown
+    breakdown: ExecutionBreakdown
+    queue_stall_time_ns: int
+    memory_requests_composed: int
+    memory_requests_served: int
+    transactions: int
+    gc_transactions: int
+    gc_time_ns: int
+    time_series: List[TimeSeriesPoint] = field(default_factory=list)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Figure 10 metrics
+    # ------------------------------------------------------------------
+    @property
+    def bandwidth_kb_s(self) -> float:
+        """I/O bandwidth in KB/s (Figure 10a)."""
+        return bandwidth_kb_per_sec(self.total_bytes, self.makespan_ns)
+
+    @property
+    def iops(self) -> float:
+        """I/O operations per second (Figure 10b)."""
+        return iops(self.completed_ios, self.makespan_ns)
+
+    @property
+    def avg_latency_ns(self) -> float:
+        """Average device-level latency (Figure 10c)."""
+        return self.latency.mean_ns
+
+    @property
+    def queue_stall_fraction(self) -> float:
+        """Queue stall time as a fraction of the makespan (Figure 10d)."""
+        if self.makespan_ns <= 0:
+            return 0.0
+        return self.queue_stall_time_ns / self.makespan_ns
+
+    # ------------------------------------------------------------------
+    # Figure 11 metrics
+    # ------------------------------------------------------------------
+    @property
+    def inter_chip_idleness(self) -> float:
+        """Fraction of chip-time where whole chips sat idle."""
+        return self.idleness.inter_chip
+
+    @property
+    def intra_chip_idleness(self) -> float:
+        """Unused die-time fraction while chips were busy."""
+        return self.idleness.intra_chip
+
+    # ------------------------------------------------------------------
+    # Figure 13 / 14 / 15 / 16 metrics
+    # ------------------------------------------------------------------
+    @property
+    def chip_utilization(self) -> float:
+        """Mean chip utilisation (Figures 1b, 6, 15)."""
+        return self.utilization.mean
+
+    def flp_fractions(self) -> Dict[str, float]:
+        """NON-PAL/PAL1/PAL2/PAL3 transaction shares (Figure 14)."""
+        return self.flp.transaction_fractions()
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        """Execution-time breakdown shares (Figure 13)."""
+        return self.breakdown.fractions()
+
+    @property
+    def transaction_reduction(self) -> float:
+        """Fraction of transactions saved relative to one-per-request."""
+        if self.memory_requests_served <= 0:
+            return 0.0
+        return 1.0 - self.transactions / self.memory_requests_served
+
+    @property
+    def coalescing_degree(self) -> float:
+        """Average memory requests per flash transaction."""
+        return self.flp.average_requests_per_transaction
+
+    # ------------------------------------------------------------------
+    # Presentation helpers
+    # ------------------------------------------------------------------
+    def summary_row(self) -> Dict[str, object]:
+        """One row of the scheduler-comparison tables used by the harness."""
+        return {
+            "scheduler": self.scheduler,
+            "workload": self.workload,
+            "bandwidth_kb_s": round(self.bandwidth_kb_s, 1),
+            "iops": round(self.iops, 1),
+            "avg_latency_us": round(self.avg_latency_ns / 1_000.0, 1),
+            "queue_stall_frac": round(self.queue_stall_fraction, 4),
+            "chip_utilization": round(self.chip_utilization, 4),
+            "inter_chip_idleness": round(self.inter_chip_idleness, 4),
+            "intra_chip_idleness": round(self.intra_chip_idleness, 4),
+            "transactions": self.transactions,
+            "requests_served": self.memory_requests_served,
+            "coalescing": round(self.coalescing_degree, 2),
+        }
+
+
+def format_table(rows: Sequence[Dict[str, object]], *, title: Optional[str] = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return title or ""
+    columns = list(rows[0].keys())
+    widths = {col: len(str(col)) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(str(row.get(col, ""))))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append("  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)

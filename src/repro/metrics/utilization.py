@@ -1,0 +1,78 @@
+"""Chip utilisation and idleness reports (Figures 1b, 6, 11, 15)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class UtilizationReport:
+    """Per-chip busy fraction over the observation window."""
+
+    per_chip: Dict[tuple, float] = field(default_factory=dict)
+
+    def add(self, chip_key: tuple, utilization: float) -> None:
+        """Record one chip's utilisation (fraction in [0, 1])."""
+        self.per_chip[chip_key] = max(0.0, min(1.0, utilization))
+
+    @property
+    def mean(self) -> float:
+        """Average chip utilisation (the paper's headline utilisation metric)."""
+        if not self.per_chip:
+            return 0.0
+        return sum(self.per_chip.values()) / len(self.per_chip)
+
+    @property
+    def minimum(self) -> float:
+        """Utilisation of the least-used chip."""
+        return min(self.per_chip.values()) if self.per_chip else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Utilisation of the most-used chip."""
+        return max(self.per_chip.values()) if self.per_chip else 0.0
+
+    @property
+    def active_chip_fraction(self) -> float:
+        """Fraction of chips that served at least some work."""
+        if not self.per_chip:
+            return 0.0
+        active = sum(1 for value in self.per_chip.values() if value > 0.0)
+        return active / len(self.per_chip)
+
+    def imbalance(self) -> float:
+        """Max-to-mean utilisation ratio; 1.0 means perfectly balanced."""
+        mean = self.mean
+        if mean <= 0.0:
+            return 0.0
+        return self.maximum / mean
+
+
+@dataclass
+class IdlenessReport:
+    """Inter-chip and intra-chip idleness (Figure 11)."""
+
+    inter_chip: float = 0.0
+    intra_chip: float = 0.0
+
+    @classmethod
+    def from_measurements(
+        cls, utilization: UtilizationReport, intra_chip_values: List[float]
+    ) -> "IdlenessReport":
+        """Combine a utilisation report and per-chip intra-chip idleness values.
+
+        *Inter-chip idleness* is the complement of mean chip utilisation: the
+        fraction of chip-time during which whole chips sat idle.  *Intra-chip
+        idleness* averages, over chips that did work, the fraction of die-time
+        left unused while the chip was busy.
+        """
+        inter = 1.0 - utilization.mean
+        busy_values = [value for value in intra_chip_values if value >= 0.0]
+        intra = sum(busy_values) / len(busy_values) if busy_values else 0.0
+        return cls(inter_chip=max(0.0, min(1.0, inter)), intra_chip=max(0.0, min(1.0, intra)))
+
+    @property
+    def combined(self) -> float:
+        """A single idleness figure weighting both components equally."""
+        return 0.5 * (self.inter_chip + self.intra_chip)

@@ -1,0 +1,81 @@
+"""Per-tag memory-request completion bitmap.
+
+Section 4.4 of the paper ("The Order of Output Data"): the NVMHC keeps an
+eight-byte bitmap per queue entry, one bit per issued memory request.  When a
+flash controller reports a transaction completion, the corresponding bits are
+cleared; the DMA engine then returns data to the host *in order* from the
+beginning of the I/O request, using multiple payloads.  The bitmap (and the
+in-order delivery it enables) is required regardless of the scheduling
+strategy - it is what makes out-of-order memory-request service invisible to
+the host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class CompletionBitmap:
+    """Tracks which memory requests of one I/O have completed."""
+
+    def __init__(self, num_requests: int) -> None:
+        if num_requests <= 0:
+            raise ValueError("an I/O must contain at least one memory request")
+        self.num_requests = num_requests
+        self._pending_bits = (1 << num_requests) - 1
+        self._delivered_upto = 0
+
+    # ------------------------------------------------------------------
+    # Bit manipulation
+    # ------------------------------------------------------------------
+    @property
+    def raw(self) -> int:
+        """Raw bitmap value; bit i set means request i is still outstanding."""
+        return self._pending_bits
+
+    def is_outstanding(self, index: int) -> bool:
+        """True when memory request ``index`` has not completed yet."""
+        self._check(index)
+        return bool(self._pending_bits & (1 << index))
+
+    def clear(self, index: int) -> None:
+        """Mark memory request ``index`` as completed."""
+        self._check(index)
+        self._pending_bits &= ~(1 << index)
+
+    @property
+    def all_completed(self) -> bool:
+        """True once every memory request of the I/O has completed."""
+        return self._pending_bits == 0
+
+    @property
+    def completed_count(self) -> int:
+        """Number of memory requests completed so far."""
+        return self.num_requests - bin(self._pending_bits).count("1")
+
+    # ------------------------------------------------------------------
+    # In-order delivery
+    # ------------------------------------------------------------------
+    def deliverable_payloads(self) -> List[int]:
+        """Indices that can be delivered to the host right now, in order.
+
+        Data is returned from the beginning of the I/O offset: a request's
+        payload can only ship once every earlier request has completed.  The
+        method is stateful - each index is reported exactly once.
+        """
+        deliverable: List[int] = []
+        while self._delivered_upto < self.num_requests and not self.is_outstanding(
+            self._delivered_upto
+        ):
+            deliverable.append(self._delivered_upto)
+            self._delivered_upto += 1
+        return deliverable
+
+    @property
+    def delivered_count(self) -> int:
+        """Number of payloads already handed back to the host."""
+        return self._delivered_upto
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.num_requests:
+            raise IndexError(f"request index {index} out of range [0, {self.num_requests})")

@@ -1,0 +1,116 @@
+"""Simulation configuration.
+
+:class:`SimulationConfig` bundles every knob of the simulated device:
+geometry, NAND timing, queue depth, composition cost, the transaction
+decision window, garbage collection and the readdressing-callback penalty
+model.  The defaults reproduce the paper's evaluation platform (Section 5.1)
+at a scale that runs quickly in pure Python; experiments override what they
+sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timing import FlashTiming
+from repro.flash.transaction import TransactionConstraints
+from repro.ftl.allocation import AllocationOrder
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All device and policy parameters of one simulation run."""
+
+    geometry: SSDGeometry = field(default_factory=SSDGeometry)
+    timing: FlashTiming = field(default_factory=FlashTiming)
+    constraints: TransactionConstraints = field(default_factory=TransactionConstraints)
+    allocation_order: AllocationOrder = AllocationOrder.CHANNEL_WAY_DIE_PLANE
+
+    #: Device-level queue depth (NCQ tags).
+    queue_depth: int = 64
+    #: Fixed cost of composing one memory request (tag parse + DMA initiation).
+    compose_ns: int = 500
+    #: Extra per-byte composition cost (ns per 1000 bytes); 0 disables it.
+    compose_per_kb_ns: int = 0
+    #: Transaction type decision window: requests committed within this window
+    #: of the first one can join the same transaction (temporal locality).
+    decision_window_ns: int = 2_000
+
+    #: Garbage collection settings.
+    gc_enabled: bool = True
+    gc_free_block_watermark: int = 2
+    #: Fraction of the logical space pre-written before the run starts
+    #: (0.95 reproduces the paper's fragmented-SSD GC experiment).
+    prefill_fraction: float = 0.0
+    #: Share of the prefilled pages rewritten once more during prefill so the
+    #: drive starts with a realistic mix of valid and invalid pages.
+    prefill_overwrite_fraction: float = 0.3
+
+    #: Readdressing callback: ``None`` means "enabled iff the scheduler is a
+    #: Sprinkler variant" (the paper's setup); True/False force it.
+    readdressing_callback: Optional[bool] = None
+    #: Penalty charged to a stale in-flight request when the callback is off.
+    stale_penalty_ns: int = 25_000
+
+    def __post_init__(self) -> None:
+        if self.queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        if self.compose_ns < 0 or self.compose_per_kb_ns < 0:
+            raise ValueError("composition costs must be non-negative")
+        if self.decision_window_ns < 0:
+            raise ValueError("decision_window_ns must be non-negative")
+        if not 0.0 <= self.prefill_fraction < 1.0:
+            raise ValueError("prefill_fraction must be in [0, 1)")
+        if not 0.0 <= self.prefill_overwrite_fraction < 1.0:
+            raise ValueError("prefill_overwrite_fraction must be in [0, 1)")
+        if self.stale_penalty_ns < 0:
+            raise ValueError("stale_penalty_ns must be non-negative")
+
+    def with_overrides(self, **overrides) -> "SimulationConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def small(cls, **overrides) -> "SimulationConfig":
+        """A small, fast configuration for unit tests (8 chips, tiny blocks)."""
+        geometry = SSDGeometry(
+            num_channels=2,
+            chips_per_channel=4,
+            dies_per_chip=2,
+            planes_per_die=2,
+            blocks_per_plane=16,
+            pages_per_block=32,
+            page_size_bytes=2048,
+        )
+        config = cls(geometry=geometry)
+        if overrides:
+            config = config.with_overrides(**overrides)
+        return config
+
+    @classmethod
+    def paper_scale(cls, num_chips: int = 64, **overrides) -> "SimulationConfig":
+        """Configuration matching the paper's evaluation platform.
+
+        ``num_chips`` must be a multiple of 8; the paper uses 64-1024 chips
+        on 8-32 channels.  Block counts are scaled down (the paper's 8192
+        blocks/die would only matter for capacity, not scheduling behaviour).
+        """
+        if num_chips % 8 != 0 or num_chips <= 0:
+            raise ValueError("num_chips must be a positive multiple of 8")
+        num_channels = 8 if num_chips <= 256 else 32
+        chips_per_channel = num_chips // num_channels
+        geometry = SSDGeometry(
+            num_channels=num_channels,
+            chips_per_channel=chips_per_channel,
+            dies_per_chip=2,
+            planes_per_die=2,
+            blocks_per_plane=64,
+            pages_per_block=128,
+            page_size_bytes=2048,
+        )
+        config = cls(geometry=geometry)
+        if overrides:
+            config = config.with_overrides(**overrides)
+        return config

@@ -1,0 +1,72 @@
+"""Discrete-event primitives.
+
+The simulator is a classic discrete-event loop: events are stored in a heap
+ordered by (time, sequence number) so that simultaneous events are processed
+in insertion order, which keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+class EventKind(enum.Enum):
+    """Kinds of events the SSD simulator processes."""
+
+    IO_ARRIVAL = "io_arrival"
+    COMPOSE_DONE = "compose_done"
+    TRANSACTION_DONE = "transaction_done"
+    TRANSACTION_DECISION = "transaction_decision"
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event.  Ordering is (time, sequence)."""
+
+    time_ns: int
+    sequence: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Deterministic min-heap of events."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._sequence = itertools.count()
+        self.processed = 0
+
+    def push(self, time_ns: int, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event at ``time_ns``."""
+        if time_ns < 0:
+            raise ValueError("event time must be non-negative")
+        event = Event(time_ns=time_ns, sequence=next(self._sequence), kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        self.processed += 1
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0].time_ns
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[Event]:  # pragma: no cover - debugging helper
+        return iter(sorted(self._heap))

@@ -1,0 +1,377 @@
+"""The many-chip SSD simulator.
+
+:class:`SSDSimulator` wires all substrates together and replays a workload:
+
+1. Host I/O requests arrive and are admitted into the device queue (or wait
+   in the host-side backlog when the queue is full).
+2. A preprocessor splits each admitted tag into page-sized memory requests
+   and translates them through the FTL (writes allocate fresh pages and may
+   trigger garbage collection).
+3. The scheduler (VAS / PAS / SPK1-3) decides the order in which memory
+   requests enter the composition/DMA pipeline; each composition commits the
+   request to the flash controller of its target channel.
+4. The controller coalesces committed requests per chip into flash
+   transactions (after a short transaction-decision window) and sequences
+   their bus and cell phases on the shared channel.
+5. Completions propagate back: memory request -> tag -> host I/O, freeing
+   queue slots and waking up the scheduler.
+
+Everything is deterministic: same config + same workload -> same result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.policies import make_scheduler
+from repro.core.scheduler import SchedulerBase, SchedulerContext
+from repro.flash.channel import Channel
+from repro.flash.chip import FlashChip
+from repro.flash.commands import FlashOp, ParallelismClass, TransactionKind
+from repro.flash.controller import FlashController, TransactionSchedule
+from repro.flash.geometry import PhysicalPageAddress
+from repro.flash.request import MemoryRequest
+from repro.flash.transaction import FlashTransaction, TransactionBuilder
+from repro.ftl.callbacks import ReaddressingCallback
+from repro.ftl.garbage_collector import GarbageCollector, GCJob
+from repro.ftl.mapping import PageMapFTL
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import SimulationResult
+from repro.nvmhc.dma import DmaEngine
+from repro.nvmhc.queue import DeviceQueue
+from repro.nvmhc.tag import Tag
+from repro.sim.config import SimulationConfig
+from repro.sim.events import EventKind, EventQueue
+from repro.workloads.request import IORequest
+
+
+class SSDSimulator:
+    """Event-driven simulator of a many-chip SSD with a pluggable scheduler."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        scheduler_name: str = "SPK3",
+        scheduler_options: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.config = config
+        self.geometry = config.geometry
+        self.timing = config.timing
+
+        # --- physical resources -------------------------------------------------
+        self.chips: Dict[tuple, FlashChip] = {
+            chip_key: FlashChip(chip_key, self.geometry)
+            for chip_key in self.geometry.iter_chip_keys()
+        }
+        self.channels: Dict[int, Channel] = {
+            channel: Channel(channel) for channel in range(self.geometry.num_channels)
+        }
+        builder = TransactionBuilder(self.geometry, self.timing, config.constraints)
+        self.controllers: Dict[int, FlashController] = {}
+        for channel_id, channel in self.channels.items():
+            chips_on_channel = {
+                key: chip for key, chip in self.chips.items() if key[0] == channel_id
+            }
+            self.controllers[channel_id] = FlashController(channel, chips_on_channel, builder)
+
+        # --- firmware ------------------------------------------------------------
+        self.ftl = PageMapFTL(self.geometry, self.chips, config.allocation_order)
+        self.gc = GarbageCollector(
+            self.geometry,
+            self.timing,
+            self.ftl,
+            self.chips,
+            free_block_watermark=config.gc_free_block_watermark,
+            enabled=config.gc_enabled,
+        )
+
+        # --- NVMHC ----------------------------------------------------------------
+        self.queue = DeviceQueue(depth=config.queue_depth)
+        self.dma = DmaEngine(
+            per_request_ns=config.compose_ns, per_byte_ns_x1000=config.compose_per_kb_ns
+        )
+        context = SchedulerContext(geometry=self.geometry, controllers=self.controllers)
+        self.scheduler: SchedulerBase = make_scheduler(
+            scheduler_name, context, **(scheduler_options or {})
+        )
+
+        callback_enabled = config.readdressing_callback
+        if callback_enabled is None:
+            callback_enabled = self.scheduler.uses_readdressing_callback
+        self.callback = ReaddressingCallback(
+            enabled=callback_enabled, stale_penalty_ns=config.stale_penalty_ns
+        )
+        for channel_id, controller in self.controllers.items():
+            self.callback.attach_controller(channel_id, controller)
+        self.ftl.add_migration_listener(self.callback.on_migration)
+        self.callback.add_listener(self.scheduler.on_migration)
+
+        # --- bookkeeping ----------------------------------------------------------
+        self.metrics = MetricsCollector()
+        self.events = EventQueue()
+        self.now_ns = 0
+        self._tags_by_io: Dict[int, Tag] = {}
+        self._gc_backlog: Dict[tuple, List[GCJob]] = {key: [] for key in self.chips}
+        self._decision_pending: set = set()
+        self._requests_composed = 0
+        self._workload_size = 0
+
+        if config.prefill_fraction > 0.0:
+            self.ftl.fill(
+                config.prefill_fraction,
+                overwrite_fraction=config.prefill_overwrite_fraction,
+            )
+
+    # ======================================================================
+    # Public API
+    # ======================================================================
+    def run(self, workload: Sequence[IORequest], workload_name: str = "workload") -> SimulationResult:
+        """Replay a workload to completion and return the measured result."""
+        ordered = sorted(workload, key=lambda io: (io.arrival_ns, io.io_id))
+        self._workload_size = len(ordered)
+        for io in ordered:
+            self.events.push(io.arrival_ns, EventKind.IO_ARRIVAL, io)
+        while self.events:
+            event = self.events.pop()
+            self.now_ns = event.time_ns
+            if event.kind is EventKind.IO_ARRIVAL:
+                self._handle_arrival(event.payload)
+            elif event.kind is EventKind.COMPOSE_DONE:
+                self._handle_compose_done(event.payload)
+            elif event.kind is EventKind.TRANSACTION_DONE:
+                self._handle_transaction_done(event.payload)
+            elif event.kind is EventKind.TRANSACTION_DECISION:
+                self._handle_decision(event.payload)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unhandled event kind {event.kind}")
+        return self._build_result(workload_name)
+
+    # ======================================================================
+    # Event handlers
+    # ======================================================================
+    def _handle_arrival(self, io: IORequest) -> None:
+        self.metrics.on_io_arrival(io)
+        tag = self.queue.submit(io, self.now_ns)
+        if tag is not None:
+            self._admit_tag(tag)
+        self._pump()
+
+    def _handle_compose_done(self, request: MemoryRequest) -> None:
+        controller = self.controllers[request.address.channel]
+        controller.commit(request, self.now_ns)
+        self.callback.track_request(request)
+        self._requests_composed += 1
+        chip_key = request.chip_key
+        self._maybe_schedule_decision(chip_key)
+        self._pump()
+
+    def _handle_decision(self, chip_key: tuple) -> None:
+        self._decision_pending.discard(chip_key)
+        self._try_start_chip(chip_key, immediate=True)
+        self._pump()
+
+    def _handle_transaction_done(self, chip_key: tuple) -> None:
+        controller = self.controllers[chip_key[0]]
+        transaction = controller.finish_transaction(chip_key, self.now_ns)
+        self.metrics.on_transaction_complete(transaction)
+        if not transaction.is_gc:
+            self._retire_requests(transaction)
+        self.scheduler.on_transaction_complete(chip_key, transaction, self.now_ns)
+        self._try_start_chip(chip_key, immediate=True)
+        self._pump()
+
+    # ======================================================================
+    # Tag admission and preprocessing
+    # ======================================================================
+    def _admit_tag(self, tag: Tag) -> None:
+        """Split the tag into memory requests and identify their layout."""
+        io = tag.io
+        op = FlashOp.PROGRAM if io.is_write else FlashOp.READ
+        for lpn in io.logical_pages(self.geometry.page_size_bytes):
+            if io.is_write:
+                address = self.ftl.translate_write(lpn)
+                if self.config.gc_enabled:
+                    self._collect_garbage(address)
+            else:
+                address = self.ftl.translate_read(lpn)
+            request = MemoryRequest(
+                io_id=io.io_id,
+                op=op,
+                lpn=lpn,
+                size_bytes=self.geometry.page_size_bytes,
+                address=address,
+            )
+            tag.memory_requests.append(request)
+            tag.by_chip.setdefault(address.chip_key, []).append(request)
+        self._tags_by_io[io.io_id] = tag
+        self.scheduler.register_tag(tag, self.now_ns)
+
+    def _collect_garbage(self, address: PhysicalPageAddress) -> None:
+        """Run GC bookkeeping for the plane a write just consumed a page on."""
+        job = self.gc.collect_plane_if_needed(address.chip_key, address.die, address.plane)
+        if job is None:
+            return
+        self._gc_backlog[address.chip_key].append(job)
+        self._try_start_chip(address.chip_key, immediate=True)
+
+    # ======================================================================
+    # Composition pipeline and chip activation
+    # ======================================================================
+    def _pump(self) -> None:
+        """Keep the composition pipeline busy while the scheduler has work."""
+        if self.dma.is_busy(self.now_ns):
+            return
+        request = self.scheduler.next_composition(self.now_ns)
+        if request is None:
+            return
+        request.composed_at_ns = self.now_ns
+        tag = self._tags_by_io.get(request.io_id)
+        if tag is not None:
+            tag.composed_count += 1
+        done_ns = self.dma.begin(self.now_ns, request.size_bytes)
+        self.events.push(done_ns, EventKind.COMPOSE_DONE, request)
+
+    def _maybe_schedule_decision(self, chip_key: tuple) -> None:
+        """Arm the transaction-decision window for a chip that just got work."""
+        controller = self.controllers[chip_key[0]]
+        if not controller.chip_available(chip_key, self.now_ns):
+            return
+        if chip_key in self._decision_pending:
+            return
+        if controller.pending_count(chip_key) == 0:
+            return
+        self._decision_pending.add(chip_key)
+        self.events.push(
+            self.now_ns + self.config.decision_window_ns,
+            EventKind.TRANSACTION_DECISION,
+            chip_key,
+        )
+
+    def _try_start_chip(self, chip_key: tuple, immediate: bool = False) -> None:
+        """Start GC or a host transaction on a chip if it is available."""
+        controller = self.controllers[chip_key[0]]
+        if not controller.chip_available(chip_key, self.now_ns):
+            return
+        backlog = self._gc_backlog[chip_key]
+        if backlog:
+            job = backlog.pop(0)
+            schedule = controller.execute_prebuilt(
+                chip_key, self._gc_transaction(job), self.now_ns
+            )
+            if schedule is not None:
+                self.events.push(schedule.complete_ns, EventKind.TRANSACTION_DONE, chip_key)
+            return
+        if controller.pending_count(chip_key) == 0:
+            return
+        if not immediate:
+            self._maybe_schedule_decision(chip_key)
+            return
+        schedule = controller.start_transaction(chip_key, self.now_ns)
+        if schedule is not None:
+            for request in schedule.transaction.requests:
+                self.callback.untrack_request(request)
+            self.events.push(schedule.complete_ns, EventKind.TRANSACTION_DONE, chip_key)
+
+    def _gc_transaction(self, job: GCJob) -> FlashTransaction:
+        """Wrap a GC job into a chip-occupying transaction."""
+        channel, chip = job.chip_key
+        placeholder = MemoryRequest(
+            io_id=-1,
+            op=FlashOp.ERASE,
+            lpn=0,
+            size_bytes=self.geometry.page_size_bytes,
+            address=PhysicalPageAddress(
+                channel=channel,
+                chip=chip,
+                die=job.die,
+                plane=job.plane,
+                block=job.victim_block,
+                page=0,
+            ),
+            is_gc=True,
+        )
+        transaction = FlashTransaction(
+            chip_key=job.chip_key,
+            requests=[placeholder],
+            kind=TransactionKind.ERASE,
+            parallelism=ParallelismClass.NON_PAL,
+        )
+        transaction.is_gc = True
+        transaction.bus_time_ns = 0
+        transaction.cell_time_ns = job.duration_ns
+        return transaction
+
+    # ======================================================================
+    # Completion propagation
+    # ======================================================================
+    def _retire_requests(self, transaction: FlashTransaction) -> None:
+        for request in transaction.requests:
+            self.callback.untrack_request(request)
+            tag = self._tags_by_io.get(request.io_id)
+            if tag is None:
+                continue
+            tag.completed_count += 1
+            if tag.fully_completed:
+                self._complete_io(tag)
+
+    def _complete_io(self, tag: Tag) -> None:
+        io = tag.io
+        io.completed_at_ns = self.now_ns
+        self.metrics.on_io_complete(io, self.now_ns)
+        self.queue.retire(io.io_id)
+        self.scheduler.on_tag_retired(tag)
+        del self._tags_by_io[io.io_id]
+        for admitted in self.queue.admit_from_backlog(self.now_ns):
+            self._admit_tag(admitted)
+
+    # ======================================================================
+    # Result assembly
+    # ======================================================================
+    def _build_result(self, workload_name: str) -> SimulationResult:
+        transactions = sum(
+            controller.total_transactions for controller in self.controllers.values()
+        )
+        result = SimulationResult(
+            scheduler=self.scheduler.name,
+            workload=workload_name,
+            num_ios=self._workload_size,
+            completed_ios=self.metrics.completed_ios,
+            total_bytes=self.metrics.total_bytes,
+            makespan_ns=self.metrics.makespan_ns,
+            latency=self.metrics.latency,
+            utilization=self.metrics.utilization_report(self.chips),
+            idleness=self.metrics.idleness_report(self.chips),
+            flp=self.metrics.flp,
+            breakdown=self.metrics.execution_breakdown(self.chips, self.channels),
+            queue_stall_time_ns=self.queue.stats.total_backlog_wait_ns,
+            memory_requests_composed=self._requests_composed,
+            memory_requests_served=self.metrics.memory_requests_served,
+            transactions=self.metrics.flp.total_transactions,
+            gc_transactions=self.metrics.gc_transactions,
+            gc_time_ns=self.metrics.gc_time_ns,
+            time_series=self.metrics.time_series,
+            extra={
+                "all_transactions_including_gc": float(transactions),
+                "stalled_requests": float(self.queue.stats.stalled_requests),
+                "requests_retargeted": float(self.callback.stats.requests_retargeted),
+                "requests_penalized": float(self.callback.stats.requests_penalized),
+                "gc_invocations": float(self.gc.stats.invocations),
+                "gc_pages_migrated": float(self.gc.stats.pages_migrated),
+            },
+        )
+        return result
+
+
+def run_workload(
+    workload: Sequence[IORequest],
+    *,
+    scheduler: str = "SPK3",
+    config: Optional[SimulationConfig] = None,
+    workload_name: str = "workload",
+    scheduler_options: Optional[Dict[str, object]] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a simulator, run one workload, return the result."""
+    simulator = SSDSimulator(
+        config or SimulationConfig(), scheduler, scheduler_options=scheduler_options
+    )
+    return simulator.run(workload, workload_name=workload_name)

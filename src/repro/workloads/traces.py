@@ -1,0 +1,161 @@
+"""MSR-Cambridge-format block trace parsing.
+
+The public MSR Cambridge traces (and many SNIA IOTTA traces) are CSV files
+with one record per line::
+
+    Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+
+* ``Timestamp`` is in Windows filetime units (100 ns ticks),
+* ``Type`` is ``Read`` or ``Write``,
+* ``Offset`` and ``Size`` are in bytes,
+* ``ResponseTime`` is the measured service time (ignored here).
+
+When a real trace file is available locally this module turns it into the
+:class:`~repro.workloads.request.IORequest` stream the simulator consumes;
+otherwise the synthetic generator in :mod:`repro.workloads.datacenter`
+provides statistically equivalent traffic.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.workloads.request import IOKind, IORequest
+
+#: Windows filetime tick length in nanoseconds.
+FILETIME_TICK_NS = 100
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One parsed line of an MSR-format trace."""
+
+    timestamp_ns: int
+    hostname: str
+    disk_number: int
+    kind: IOKind
+    offset_bytes: int
+    size_bytes: int
+    response_time_ns: int
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace line cannot be parsed."""
+
+
+def _parse_int(field: str) -> int:
+    """Parse an integer field, tolerating a decimal point without losing
+    precision on the 18+ digit Windows filetime timestamps."""
+    try:
+        return int(field)
+    except ValueError:
+        return int(float(field))
+
+
+def parse_msr_line(line: Union[str, List[str]]) -> TraceRecord:
+    """Parse one MSR CSV line (either a raw string or pre-split fields)."""
+    if isinstance(line, str):
+        fields = [field.strip() for field in line.strip().split(",")]
+    else:
+        fields = [field.strip() for field in line]
+    if len(fields) < 7:
+        raise TraceFormatError(f"expected 7 comma-separated fields, got {len(fields)}")
+    try:
+        timestamp_ticks = _parse_int(fields[0])
+        disk_number = int(fields[2])
+        offset = int(fields[4])
+        size = int(fields[5])
+        response_ticks = _parse_int(fields[6])
+    except ValueError as exc:
+        raise TraceFormatError(f"malformed numeric field in line {fields!r}") from exc
+    type_field = fields[3].lower()
+    if type_field.startswith("r"):
+        kind = IOKind.READ
+    elif type_field.startswith("w"):
+        kind = IOKind.WRITE
+    else:
+        raise TraceFormatError(f"unknown request type {fields[3]!r}")
+    if size <= 0:
+        raise TraceFormatError(f"non-positive request size {size}")
+    if offset < 0:
+        raise TraceFormatError(f"negative offset {offset}")
+    return TraceRecord(
+        timestamp_ns=timestamp_ticks * FILETIME_TICK_NS,
+        hostname=fields[1],
+        disk_number=disk_number,
+        kind=kind,
+        offset_bytes=offset,
+        size_bytes=size,
+        response_time_ns=response_ticks * FILETIME_TICK_NS,
+    )
+
+
+def load_msr_trace(
+    path: Union[str, Path],
+    *,
+    max_records: Optional[int] = None,
+    disk_number: Optional[int] = None,
+    skip_malformed: bool = True,
+) -> List[TraceRecord]:
+    """Load an MSR-format CSV trace from disk."""
+    records: List[TraceRecord] = []
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        for row in reader:
+            if not row or (len(row) == 1 and not row[0].strip()):
+                continue
+            try:
+                record = parse_msr_line(row)
+            except TraceFormatError:
+                if skip_malformed:
+                    continue
+                raise
+            if disk_number is not None and record.disk_number != disk_number:
+                continue
+            records.append(record)
+            if max_records is not None and len(records) >= max_records:
+                break
+    return records
+
+
+def records_to_requests(
+    records: Iterable[TraceRecord],
+    *,
+    address_space_bytes: Optional[int] = None,
+    rebase_time: bool = True,
+    time_scale: float = 1.0,
+) -> List[IORequest]:
+    """Convert parsed trace records into simulator I/O requests.
+
+    ``address_space_bytes`` (when given) wraps offsets into the simulated
+    SSD's capacity; ``rebase_time`` shifts arrival times so the first request
+    arrives at t=0; ``time_scale`` compresses or stretches inter-arrival
+    gaps (useful for accelerating replay of long traces).
+    """
+    records = list(records)
+    if not records:
+        return []
+    base = records[0].timestamp_ns if rebase_time else 0
+    requests: List[IORequest] = []
+    for record in records:
+        offset = record.offset_bytes
+        size = record.size_bytes
+        if address_space_bytes is not None:
+            offset = offset % address_space_bytes
+            if offset + size > address_space_bytes:
+                size = max(1, address_space_bytes - offset)
+        arrival = max(0, int((record.timestamp_ns - base) * time_scale))
+        requests.append(
+            IORequest(
+                kind=record.kind,
+                offset_bytes=offset,
+                size_bytes=size,
+                arrival_ns=arrival,
+            )
+        )
+    requests.sort(key=lambda req: req.arrival_ns)
+    return requests

@@ -1,0 +1,103 @@
+"""Tests for the page allocator and striping orders."""
+
+import pytest
+
+from repro.flash.chip import FlashChip
+from repro.ftl.allocation import AllocationOrder, PageAllocator
+
+
+@pytest.fixture
+def allocator(small_geometry, small_chips):
+    return PageAllocator(small_geometry, small_chips)
+
+
+class TestStaticLayout:
+    def test_consecutive_lpns_stripe_across_channels(self, allocator):
+        first = allocator.static_address(0)
+        second = allocator.static_address(1)
+        assert first.channel != second.channel
+
+    def test_static_address_deterministic(self, allocator):
+        assert allocator.static_address(123) == allocator.static_address(123)
+
+    def test_static_address_covers_all_planes(self, allocator, small_geometry):
+        planes = {
+            allocator.static_address(lpn).plane_key
+            for lpn in range(small_geometry.num_planes)
+        }
+        assert len(planes) == small_geometry.num_planes
+
+    def test_static_address_negative_lpn(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.static_address(-1)
+
+    def test_static_address_wraps_beyond_capacity(self, allocator, small_geometry):
+        address = allocator.static_address(small_geometry.total_pages + 5)
+        small_geometry._validate_address(address)  # must be a legal address
+
+    def test_plane_for_stripe_matches_sequence(self, allocator):
+        assert allocator.plane_for_stripe(0) == allocator.plane_sequence[0]
+        assert allocator.plane_for_stripe(len(allocator.plane_sequence)) == (
+            allocator.plane_sequence[0]
+        )
+
+
+class TestDynamicAllocation:
+    def test_allocations_are_unique(self, allocator, small_geometry):
+        seen = set()
+        for _ in range(small_geometry.num_planes * 4):
+            address = allocator.allocate()
+            assert address not in seen
+            seen.add(address)
+
+    def test_round_robin_spreads_over_channels(self, allocator, small_geometry):
+        channels = {allocator.allocate().channel for _ in range(small_geometry.num_channels)}
+        assert channels == set(range(small_geometry.num_channels))
+
+    def test_preferred_plane_respected(self, allocator):
+        preferred = (1, 1, 1, 1)
+        address = allocator.allocate(preferred_plane=preferred)
+        assert address.plane_key == preferred
+
+    def test_preferred_plane_falls_back_when_full(self, allocator, small_geometry, small_chips):
+        preferred = (0, 0, 0, 0)
+        plane = small_chips[(0, 0)].plane(0, 0)
+        while plane.free_pages:
+            plane.allocate_page()
+        address = allocator.allocate(preferred_plane=preferred)
+        assert address.plane_key != preferred
+
+    def test_exhaustion_raises(self, small_geometry, small_chips):
+        allocator = PageAllocator(small_geometry, small_chips)
+        for _ in range(small_geometry.total_pages):
+            allocator.allocate()
+        with pytest.raises(RuntimeError):
+            allocator.allocate()
+
+    def test_free_pages_decreases(self, allocator, small_geometry):
+        before = allocator.free_pages()
+        allocator.allocate()
+        assert allocator.free_pages() == before - 1
+
+
+class TestAllocationOrders:
+    @pytest.mark.parametrize("order", list(AllocationOrder))
+    def test_every_order_covers_all_planes(self, small_geometry, small_chips, order):
+        allocator = PageAllocator(small_geometry, small_chips, order)
+        assert len(set(allocator.plane_sequence)) == small_geometry.num_planes
+
+    def test_channel_first_order_varies_channel_fastest(self, small_geometry, small_chips):
+        allocator = PageAllocator(
+            small_geometry, small_chips, AllocationOrder.CHANNEL_WAY_DIE_PLANE
+        )
+        sequence = allocator.plane_sequence
+        assert sequence[0][0] != sequence[1][0]
+
+    def test_plane_first_order_varies_plane_fastest(self, small_geometry, small_chips):
+        allocator = PageAllocator(
+            small_geometry, small_chips, AllocationOrder.PLANE_DIE_WAY_CHANNEL
+        )
+        sequence = allocator.plane_sequence
+        first, second = sequence[0], sequence[1]
+        assert first[3] != second[3]
+        assert first[0] == second[0]

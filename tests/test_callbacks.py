@@ -1,0 +1,95 @@
+"""Tests for the readdressing callback."""
+
+import pytest
+
+from repro.flash.commands import FlashOp
+from repro.flash.geometry import PhysicalPageAddress
+from repro.flash.request import MemoryRequest
+from repro.ftl.callbacks import ReaddressingCallback
+
+
+def address(channel=0, chip=0, die=0, plane=0, block=0, page=0):
+    return PhysicalPageAddress(channel, chip, die, plane, block, page)
+
+
+def request_at(addr, io_id=1):
+    return MemoryRequest(io_id=io_id, op=FlashOp.READ, lpn=0, size_bytes=2048, address=addr)
+
+
+class TestEnabledCallback:
+    def test_retargets_tracked_request(self):
+        callback = ReaddressingCallback(enabled=True)
+        old, new = address(block=0), address(block=3)
+        req = request_at(old)
+        callback.track_request(req)
+        callback.on_migration(7, old, new)
+        assert req.address == new
+        assert req.penalty_ns == 0
+        assert callback.stats.requests_retargeted == 1
+
+    def test_untracked_request_not_touched(self):
+        callback = ReaddressingCallback(enabled=True)
+        old, new = address(block=0), address(block=3)
+        req = request_at(old)
+        callback.track_request(req)
+        callback.untrack_request(req)
+        callback.on_migration(7, old, new)
+        assert req.address == old
+
+    def test_migration_of_unrelated_address(self):
+        callback = ReaddressingCallback(enabled=True)
+        req = request_at(address(block=5))
+        callback.track_request(req)
+        callback.on_migration(7, address(block=0), address(block=3))
+        assert req.address == address(block=5)
+
+    def test_cross_resource_counter(self):
+        callback = ReaddressingCallback(enabled=True)
+        callback.on_migration(1, address(plane=0), address(plane=1))
+        callback.on_migration(2, address(block=0, page=1), address(block=2, page=1))
+        assert callback.stats.migrations_observed == 2
+        assert callback.stats.cross_resource_migrations == 1
+
+    def test_extra_listener_invoked(self):
+        callback = ReaddressingCallback(enabled=True)
+        seen = []
+        callback.add_listener(lambda lpn, old, new: seen.append(lpn))
+        callback.on_migration(9, address(), address(block=1))
+        assert seen == [9]
+
+    def test_track_ignores_untranslated(self):
+        callback = ReaddressingCallback(enabled=True)
+        req = MemoryRequest(io_id=1, op=FlashOp.READ, lpn=0, size_bytes=2048)
+        callback.track_request(req)
+        assert callback.tracked_requests() == 0
+
+    def test_tracked_count_and_clear(self):
+        callback = ReaddressingCallback(enabled=True)
+        callback.track_request(request_at(address()))
+        assert callback.tracked_requests() == 1
+        callback.clear()
+        assert callback.tracked_requests() == 0
+
+
+class TestDisabledCallback:
+    def test_penalty_applied_instead_of_clean_retarget(self):
+        callback = ReaddressingCallback(enabled=False, stale_penalty_ns=30_000)
+        old, new = address(block=0), address(block=4)
+        req = request_at(old)
+        callback.track_request(req)
+        callback.on_migration(3, old, new)
+        # The request still has to find the data (it is retargeted), but it
+        # pays the stale re-translation penalty.
+        assert req.address == new
+        assert req.penalty_ns == 30_000
+        assert callback.stats.requests_penalized == 1
+        assert callback.stats.requests_retargeted == 0
+
+    def test_multiple_migrations_accumulate_penalty(self):
+        callback = ReaddressingCallback(enabled=False, stale_penalty_ns=10_000)
+        a, b, c = address(block=0), address(block=1), address(block=2)
+        req = request_at(a)
+        callback.track_request(req)
+        callback.on_migration(3, a, b)
+        callback.on_migration(3, b, c)
+        assert req.penalty_ns == 20_000

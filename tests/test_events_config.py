@@ -1,0 +1,105 @@
+"""Tests for the event queue and simulation configuration."""
+
+import pytest
+
+from repro.flash.geometry import SSDGeometry
+from repro.sim.config import SimulationConfig
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(50, EventKind.IO_ARRIVAL, "b")
+        queue.push(10, EventKind.IO_ARRIVAL, "a")
+        queue.push(30, EventKind.IO_ARRIVAL, "c")
+        assert [queue.pop().payload for _ in range(3)] == ["a", "c", "b"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        queue.push(10, EventKind.IO_ARRIVAL, "first")
+        queue.push(10, EventKind.COMPOSE_DONE, "second")
+        assert queue.pop().payload == "first"
+        assert queue.pop().payload == "second"
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(42, EventKind.IO_ARRIVAL)
+        assert queue.peek_time() == 42
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1, EventKind.IO_ARRIVAL)
+        assert queue
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1, EventKind.IO_ARRIVAL)
+
+    def test_processed_counter(self):
+        queue = EventQueue()
+        queue.push(1, EventKind.IO_ARRIVAL)
+        queue.pop()
+        assert queue.processed == 1
+
+    def test_event_ordering_dataclass(self):
+        early = Event(time_ns=1, sequence=0, kind=EventKind.IO_ARRIVAL)
+        late = Event(time_ns=2, sequence=0, kind=EventKind.IO_ARRIVAL)
+        assert early < late
+
+
+class TestSimulationConfig:
+    def test_defaults_valid(self):
+        config = SimulationConfig()
+        assert config.queue_depth == 64
+        assert config.geometry.num_chips == 64
+
+    def test_small_profile(self):
+        config = SimulationConfig.small()
+        assert config.geometry.num_chips == 8
+
+    def test_paper_scale_chip_counts(self):
+        assert SimulationConfig.paper_scale(64).geometry.num_chips == 64
+        assert SimulationConfig.paper_scale(256).geometry.num_chips == 256
+        assert SimulationConfig.paper_scale(1024).geometry.num_chips == 1024
+
+    def test_paper_scale_channel_split(self):
+        assert SimulationConfig.paper_scale(64).geometry.num_channels == 8
+        assert SimulationConfig.paper_scale(1024).geometry.num_channels == 32
+
+    def test_paper_scale_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            SimulationConfig.paper_scale(60)
+
+    def test_with_overrides_returns_copy(self):
+        config = SimulationConfig()
+        other = config.with_overrides(queue_depth=8)
+        assert other.queue_depth == 8
+        assert config.queue_depth == 64
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(queue_depth=0),
+            dict(compose_ns=-1),
+            dict(decision_window_ns=-1),
+            dict(prefill_fraction=1.0),
+            dict(prefill_overwrite_fraction=1.0),
+            dict(stale_penalty_ns=-1),
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises(ValueError):
+            SimulationConfig(**overrides)
+
+    def test_custom_geometry(self):
+        geometry = SSDGeometry(num_channels=2, chips_per_channel=2)
+        config = SimulationConfig(geometry=geometry)
+        assert config.geometry.num_chips == 4

@@ -1,0 +1,198 @@
+"""Tests for SSD geometry and physical addressing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash.geometry import PhysicalPageAddress, SSDGeometry
+
+
+def make_geometry(**overrides):
+    values = dict(
+        num_channels=4,
+        chips_per_channel=2,
+        dies_per_chip=2,
+        planes_per_die=2,
+        blocks_per_plane=4,
+        pages_per_block=8,
+        page_size_bytes=2048,
+    )
+    values.update(overrides)
+    return SSDGeometry(**values)
+
+
+class TestDerivedSizes:
+    def test_num_chips(self):
+        assert make_geometry().num_chips == 8
+
+    def test_num_dies(self):
+        assert make_geometry().num_dies == 16
+
+    def test_num_planes(self):
+        assert make_geometry().num_planes == 32
+
+    def test_planes_per_chip(self):
+        assert make_geometry().planes_per_chip == 4
+
+    def test_pages_per_plane(self):
+        assert make_geometry().pages_per_plane == 32
+
+    def test_pages_per_die(self):
+        assert make_geometry().pages_per_die == 64
+
+    def test_pages_per_chip(self):
+        assert make_geometry().pages_per_chip == 128
+
+    def test_pages_per_channel(self):
+        assert make_geometry().pages_per_channel == 256
+
+    def test_total_pages(self):
+        assert make_geometry().total_pages == 1024
+
+    def test_capacity_bytes(self):
+        assert make_geometry().capacity_bytes == 1024 * 2048
+
+    def test_block_size_bytes(self):
+        assert make_geometry().block_size_bytes == 8 * 2048
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "num_channels",
+            "chips_per_channel",
+            "dies_per_chip",
+            "planes_per_die",
+            "blocks_per_plane",
+            "pages_per_block",
+            "page_size_bytes",
+        ],
+    )
+    def test_rejects_non_positive(self, field):
+        with pytest.raises(ValueError):
+            make_geometry(**{field: 0})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_geometry(num_channels=-1)
+
+
+class TestChipEnumeration:
+    def test_chip_index_is_channel_striped(self):
+        geometry = make_geometry()
+        # Chips at offset 0 of every channel come first.
+        assert geometry.chip_index(0, 0) == 0
+        assert geometry.chip_index(1, 0) == 1
+        assert geometry.chip_index(3, 0) == 3
+        assert geometry.chip_index(0, 1) == 4
+
+    def test_chip_index_round_trip(self):
+        geometry = make_geometry()
+        for index in range(geometry.num_chips):
+            channel, chip = geometry.chip_coordinates(index)
+            assert geometry.chip_index(channel, chip) == index
+
+    def test_chip_index_out_of_range(self):
+        geometry = make_geometry()
+        with pytest.raises(ValueError):
+            geometry.chip_index(4, 0)
+        with pytest.raises(ValueError):
+            geometry.chip_coordinates(8)
+
+    def test_iter_chip_keys_covers_all_chips(self):
+        geometry = make_geometry()
+        keys = list(geometry.iter_chip_keys())
+        assert len(keys) == geometry.num_chips
+        assert len(set(keys)) == geometry.num_chips
+
+    def test_iter_chip_keys_matches_rios_order(self):
+        geometry = make_geometry()
+        keys = list(geometry.iter_chip_keys())
+        # First num_channels entries are all the offset-0 chips.
+        assert keys[: geometry.num_channels] == [
+            (channel, 0) for channel in range(geometry.num_channels)
+        ]
+
+
+class TestAddressConversion:
+    def test_ppn_zero(self):
+        geometry = make_geometry()
+        address = geometry.ppn_to_address(0)
+        assert address == PhysicalPageAddress(0, 0, 0, 0, 0, 0)
+
+    def test_last_ppn(self):
+        geometry = make_geometry()
+        address = geometry.ppn_to_address(geometry.total_pages - 1)
+        assert address.channel == geometry.num_channels - 1
+        assert address.page == geometry.pages_per_block - 1
+
+    def test_round_trip_samples(self):
+        geometry = make_geometry()
+        for ppn in range(0, geometry.total_pages, 7):
+            assert geometry.address_to_ppn(geometry.ppn_to_address(ppn)) == ppn
+
+    def test_out_of_range_ppn(self):
+        geometry = make_geometry()
+        with pytest.raises(ValueError):
+            geometry.ppn_to_address(geometry.total_pages)
+        with pytest.raises(ValueError):
+            geometry.ppn_to_address(-1)
+
+    def test_invalid_address_rejected(self):
+        geometry = make_geometry()
+        bad = PhysicalPageAddress(channel=99, chip=0, die=0, plane=0, block=0, page=0)
+        with pytest.raises(ValueError):
+            geometry.address_to_ppn(bad)
+
+    @given(ppn=st.integers(min_value=0, max_value=1023))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, ppn):
+        geometry = make_geometry()
+        assert geometry.address_to_ppn(geometry.ppn_to_address(ppn)) == ppn
+
+
+class TestAddressHelpers:
+    def test_chip_die_plane_keys(self):
+        address = PhysicalPageAddress(1, 2, 1, 0, 3, 4)
+        assert address.chip_key == (1, 2)
+        assert address.die_key == (1, 2, 1)
+        assert address.plane_key == (1, 2, 1, 0)
+
+    def test_with_block_page(self):
+        address = PhysicalPageAddress(1, 2, 1, 0, 3, 4)
+        moved = address.with_block_page(5, 6)
+        assert moved.block == 5 and moved.page == 6
+        assert moved.chip_key == address.chip_key
+
+    def test_addresses_are_hashable_and_ordered(self):
+        a = PhysicalPageAddress(0, 0, 0, 0, 0, 0)
+        b = PhysicalPageAddress(0, 0, 0, 0, 0, 1)
+        assert a < b
+        assert len({a, b}) == 2
+
+
+class TestLogicalHelpers:
+    def test_bytes_to_pages(self):
+        geometry = make_geometry()
+        assert geometry.bytes_to_pages(1) == 1
+        assert geometry.bytes_to_pages(2048) == 1
+        assert geometry.bytes_to_pages(2049) == 2
+        assert geometry.bytes_to_pages(0) == 1
+
+    def test_lba_to_lpn(self):
+        geometry = make_geometry()
+        assert geometry.lba_to_lpn(0) == 0
+        assert geometry.lba_to_lpn(2047) == 0
+        assert geometry.lba_to_lpn(2048) == 1
+
+    def test_lba_to_lpn_negative(self):
+        with pytest.raises(ValueError):
+            make_geometry().lba_to_lpn(-1)
+
+    def test_scaled_returns_modified_copy(self):
+        geometry = make_geometry()
+        bigger = geometry.scaled(num_channels=8)
+        assert bigger.num_channels == 8
+        assert bigger.chips_per_channel == geometry.chips_per_channel
+        assert geometry.num_channels == 4

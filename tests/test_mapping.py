@@ -1,0 +1,126 @@
+"""Tests for the page-mapped FTL."""
+
+import pytest
+
+from repro.flash.chip import FlashChip
+from repro.ftl.mapping import PageMapFTL
+
+
+@pytest.fixture
+def ftl(small_geometry, small_chips):
+    return PageMapFTL(small_geometry, small_chips)
+
+
+class TestTranslation:
+    def test_read_of_unwritten_page_uses_static_layout(self, ftl):
+        address = ftl.translate_read(42)
+        assert address == ftl.allocator.static_address(42)
+
+    def test_write_then_read_hits_mapping(self, ftl):
+        written = ftl.translate_write(7)
+        assert ftl.translate_read(7) == written
+        assert ftl.lookup(7) == written
+
+    def test_lookup_none_for_unwritten(self, ftl):
+        assert ftl.lookup(99) is None
+
+    def test_rewrite_invalidates_old_page(self, ftl, small_chips):
+        first = ftl.translate_write(3)
+        second = ftl.translate_write(3)
+        assert first != second
+        plane = small_chips[first.chip_key].plane(first.die, first.plane)
+        assert not plane.blocks[first.block].is_valid(first.page)
+        assert ftl.reverse_lookup(first) is None
+        assert ftl.reverse_lookup(second) == 3
+
+    def test_mapped_pages_counts_live_mappings(self, ftl):
+        ftl.translate_write(1)
+        ftl.translate_write(2)
+        ftl.translate_write(1)
+        assert ftl.mapped_pages == 2
+
+    def test_stats_counters(self, ftl):
+        ftl.translate_write(1)
+        ftl.translate_read(1)
+        ftl.translate_write(1)
+        assert ftl.stats.host_writes == 2
+        assert ftl.stats.host_reads == 1
+        assert ftl.stats.invalidations == 1
+
+
+class TestMigration:
+    def test_migrate_updates_both_maps(self, ftl):
+        original = ftl.translate_write(5)
+        old, new = ftl.migrate_page(5)
+        assert old == original
+        assert new != original
+        assert ftl.lookup(5) == new
+        assert ftl.reverse_lookup(new) == 5
+        assert ftl.reverse_lookup(old) is None
+
+    def test_migrate_unmapped_raises(self, ftl):
+        with pytest.raises(KeyError):
+            ftl.migrate_page(77)
+
+    def test_migrate_prefers_plane(self, ftl):
+        ftl.translate_write(5)
+        preferred = (1, 1, 0, 1)
+        _, new = ftl.migrate_page(5, preferred_plane=preferred)
+        assert new.plane_key == preferred
+
+    def test_migration_listener_invoked(self, ftl):
+        events = []
+        ftl.add_migration_listener(lambda lpn, old, new: events.append((lpn, old, new)))
+        ftl.translate_write(9)
+        ftl.migrate_page(9)
+        assert len(events) == 1
+        assert events[0][0] == 9
+
+    def test_migration_counters(self, ftl):
+        ftl.translate_write(4)
+        ftl.migrate_page(4)
+        assert ftl.stats.migrations == 1
+        assert ftl.stats.gc_writes == 1
+
+
+class TestEraseBlock:
+    def test_erase_clears_mappings_and_block(self, ftl, small_chips):
+        address = ftl.translate_write(11)
+        ftl.erase_block(address.chip_key, address.die, address.plane, address.block)
+        assert ftl.lookup(11) is None
+        assert ftl.reverse_lookup(address) is None
+        plane = small_chips[address.chip_key].plane(address.die, address.plane)
+        assert plane.blocks[address.block].is_free
+        assert plane.blocks[address.block].erase_count == 1
+
+
+class TestFill:
+    def test_fill_writes_requested_fraction(self, ftl, small_geometry):
+        written = ftl.fill(0.5)
+        assert written == int(small_geometry.total_pages * 0.5)
+        assert ftl.utilization() == pytest.approx(0.5, abs=0.01)
+
+    def test_fill_with_overwrites_creates_invalid_pages(self, small_geometry, small_chips):
+        ftl = PageMapFTL(small_geometry, small_chips)
+        ftl.fill(0.8, overwrite_fraction=0.4)
+        invalid = 0
+        for chip in small_chips.values():
+            for plane in chip.iter_planes():
+                for block in plane.blocks:
+                    invalid += block.invalid_count
+        assert invalid > 0
+        # Live data is less than the total pages written.
+        assert ftl.utilization() < 0.8
+
+    def test_fill_rejects_bad_fraction(self, ftl):
+        with pytest.raises(ValueError):
+            ftl.fill(1.5)
+        with pytest.raises(ValueError):
+            ftl.fill(0.5, overwrite_fraction=1.0)
+
+    def test_fill_zero_is_noop(self, ftl):
+        assert ftl.fill(0.0) == 0
+        assert ftl.utilization() == 0.0
+
+    def test_utilization_empty(self, ftl):
+        assert ftl.utilization() == 0.0

@@ -1,0 +1,193 @@
+"""Tests for flash transactions and the transaction builder."""
+
+import pytest
+
+from repro.flash.commands import FlashOp, ParallelismClass, TransactionKind
+from repro.flash.geometry import PhysicalPageAddress
+from repro.flash.request import MemoryRequest
+from repro.flash.transaction import (
+    FlashTransaction,
+    TransactionBuilder,
+    TransactionConstraints,
+)
+
+
+def make_request(io_id=1, op=FlashOp.READ, die=0, plane=0, block=0, page=0, chip=(0, 0), penalty=0):
+    channel, chip_idx = chip
+    request = MemoryRequest(
+        io_id=io_id,
+        op=op,
+        lpn=page,
+        size_bytes=2048,
+        address=PhysicalPageAddress(
+            channel=channel, chip=chip_idx, die=die, plane=plane, block=block, page=page
+        ),
+    )
+    request.penalty_ns = penalty
+    return request
+
+
+class TestSelection:
+    def test_selects_all_distinct_planes(self, builder):
+        pending = [make_request(die=d, plane=p) for d in range(2) for p in range(2)]
+        selected = builder.select(pending)
+        assert len(selected) == 4
+
+    def test_rejects_second_request_on_same_plane(self, builder):
+        pending = [make_request(die=0, plane=0, page=0), make_request(die=0, plane=0, page=1)]
+        selected = builder.select(pending)
+        assert len(selected) == 1
+
+    def test_skips_different_operation(self, builder):
+        pending = [make_request(op=FlashOp.READ, die=0), make_request(op=FlashOp.PROGRAM, die=1)]
+        selected = builder.select(pending)
+        assert len(selected) == 1
+        assert selected[0].op is FlashOp.READ
+
+    def test_mixed_ops_allowed_when_constraint_relaxed(self, small_geometry, fast_timing):
+        constraints = TransactionConstraints(single_operation_per_transaction=False)
+        builder = TransactionBuilder(small_geometry, fast_timing, constraints)
+        pending = [make_request(op=FlashOp.READ, die=0), make_request(op=FlashOp.PROGRAM, die=1)]
+        assert len(builder.select(pending)) == 2
+
+    def test_respects_max_requests(self, small_geometry, fast_timing):
+        constraints = TransactionConstraints(max_requests_per_transaction=2)
+        builder = TransactionBuilder(small_geometry, fast_timing, constraints)
+        pending = [make_request(die=d, plane=p) for d in range(2) for p in range(2)]
+        assert len(builder.select(pending)) == 2
+
+    def test_skips_untranslated_requests(self, builder):
+        request = MemoryRequest(io_id=1, op=FlashOp.READ, lpn=0, size_bytes=2048)
+        assert builder.select([request]) == []
+
+    def test_empty_pending(self, builder):
+        assert builder.select([]) == []
+
+    def test_strict_multiplane_requires_same_page_offset(self, small_geometry, fast_timing):
+        constraints = TransactionConstraints(strict_multiplane=True)
+        builder = TransactionBuilder(small_geometry, fast_timing, constraints)
+        pending = [
+            make_request(die=0, plane=0, page=4),
+            make_request(die=0, plane=1, page=4),
+            make_request(die=0, plane=1, page=5),
+        ]
+        selected = builder.select(pending)
+        assert [req.address.page for req in selected] == [4, 4]
+
+    def test_strict_multiplane_block_offset(self, small_geometry, fast_timing):
+        constraints = TransactionConstraints(
+            strict_multiplane=True, same_block_offset_for_multiplane=True
+        )
+        builder = TransactionBuilder(small_geometry, fast_timing, constraints)
+        pending = [
+            make_request(die=0, plane=0, block=1, page=4),
+            make_request(die=0, plane=1, block=2, page=4),
+        ]
+        assert len(builder.select(pending)) == 1
+
+
+class TestBuild:
+    def test_single_request_is_non_pal_legacy(self, builder):
+        transaction = builder.build((0, 0), [make_request()])
+        assert transaction.parallelism is ParallelismClass.NON_PAL
+        assert transaction.kind is TransactionKind.LEGACY
+
+    def test_two_planes_same_die_is_pal1(self, builder):
+        requests = [make_request(die=0, plane=0), make_request(die=0, plane=1)]
+        transaction = builder.build((0, 0), requests)
+        assert transaction.parallelism is ParallelismClass.PAL1
+        assert transaction.kind is TransactionKind.MULTIPLANE
+
+    def test_two_dies_one_plane_each_is_pal2(self, builder):
+        requests = [make_request(die=0, plane=0), make_request(die=1, plane=0)]
+        transaction = builder.build((0, 0), requests)
+        assert transaction.parallelism is ParallelismClass.PAL2
+
+    def test_full_footprint_is_pal3(self, builder):
+        requests = [make_request(die=d, plane=p) for d in range(2) for p in range(2)]
+        transaction = builder.build((0, 0), requests)
+        assert transaction.parallelism is ParallelismClass.PAL3
+        assert transaction.kind is TransactionKind.INTERLEAVE_MULTIPLANE
+
+    def test_build_empty_raises(self, builder):
+        with pytest.raises(ValueError):
+            builder.build((0, 0), [])
+
+    def test_build_from_pending_none_when_empty(self, builder):
+        assert builder.build_from_pending((0, 0), []) is None
+
+    def test_erase_kind_for_gc_requests(self, builder):
+        request = make_request(op=FlashOp.ERASE)
+        request.is_gc = True
+        transaction = builder.build((0, 0), [request])
+        assert transaction.kind is TransactionKind.ERASE
+        assert transaction.is_gc
+
+
+class TestTiming:
+    def test_bus_time_sums_per_request(self, builder, fast_timing):
+        requests = [make_request(die=0, plane=0), make_request(die=0, plane=1)]
+        transaction = builder.build((0, 0), requests)
+        expected = fast_timing.transaction_overhead_ns + 2 * fast_timing.request_bus_time_ns(2048)
+        assert transaction.bus_time_ns == expected
+
+    def test_cell_time_is_max_over_dies_for_reads(self, builder, fast_timing):
+        requests = [make_request(die=0), make_request(die=1)]
+        transaction = builder.build((0, 0), requests)
+        assert transaction.cell_time_ns == fast_timing.read_ns
+
+    def test_cell_time_includes_penalties(self, builder, fast_timing):
+        requests = [make_request(penalty=5000)]
+        transaction = builder.build((0, 0), requests)
+        assert transaction.cell_time_ns == fast_timing.read_ns + 5000
+
+    def test_erase_has_no_bus_payload(self, builder, fast_timing):
+        request = make_request(op=FlashOp.ERASE)
+        transaction = builder.build((0, 0), [request])
+        assert transaction.bus_time_ns == fast_timing.transaction_overhead_ns
+
+    def test_service_time(self, builder):
+        transaction = builder.build((0, 0), [make_request()])
+        assert transaction.service_time_ns == transaction.bus_time_ns + transaction.cell_time_ns
+
+
+class TestTransactionInvariants:
+    def test_rejects_multi_chip_requests(self):
+        requests = [make_request(chip=(0, 0)), make_request(chip=(0, 1))]
+        with pytest.raises(ValueError):
+            FlashTransaction(
+                chip_key=(0, 0),
+                requests=requests,
+                kind=TransactionKind.LEGACY,
+                parallelism=ParallelismClass.NON_PAL,
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FlashTransaction(
+                chip_key=(0, 0),
+                requests=[],
+                kind=TransactionKind.LEGACY,
+                parallelism=ParallelismClass.NON_PAL,
+            )
+
+    def test_rejects_mismatched_chip_key(self):
+        with pytest.raises(ValueError):
+            FlashTransaction(
+                chip_key=(1, 1),
+                requests=[make_request(chip=(0, 0))],
+                kind=TransactionKind.LEGACY,
+                parallelism=ParallelismClass.NON_PAL,
+            )
+
+    def test_properties(self, builder):
+        requests = [
+            make_request(io_id=1, die=0, plane=0),
+            make_request(io_id=2, die=1, plane=1),
+        ]
+        transaction = builder.build((0, 0), requests)
+        assert transaction.num_requests == 2
+        assert transaction.dies == [0, 1]
+        assert transaction.planes_by_die == {0: [0], 1: [1]}
+        assert transaction.io_ids == [1, 2]
+        assert transaction.total_bytes == 4096

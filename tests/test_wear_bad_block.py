@@ -1,0 +1,107 @@
+"""Tests for wear levelling and bad block management."""
+
+import pytest
+
+from repro.ftl.bad_block import BadBlockManager
+from repro.ftl.mapping import PageMapFTL
+from repro.ftl.wear_leveling import WearLeveler
+
+
+@pytest.fixture
+def ftl(small_geometry, small_chips):
+    return PageMapFTL(small_geometry, small_chips)
+
+
+class TestWearLeveler:
+    def test_fresh_drive_has_zero_wear(self, small_geometry, small_chips, ftl):
+        leveler = WearLeveler(small_geometry, ftl, small_chips)
+        stats = leveler.wear_stats()
+        assert stats.total_erases == 0
+        assert stats.spread == 0
+
+    def test_wear_stats_track_erases(self, small_geometry, small_chips, ftl):
+        leveler = WearLeveler(small_geometry, ftl, small_chips)
+        block = small_chips[(0, 0)].plane(0, 0).blocks[0]
+        block.erase()
+        block.erase()
+        stats = leveler.wear_stats()
+        assert stats.max_erase_count == 2
+        assert stats.total_erases == 2
+        assert stats.spread == 2
+
+    def test_needs_leveling_threshold(self, small_geometry, small_chips, ftl):
+        leveler = WearLeveler(small_geometry, ftl, small_chips, spread_threshold=3)
+        block = small_chips[(0, 0)].plane(0, 0).blocks[0]
+        for _ in range(2):
+            block.erase()
+        assert not leveler.needs_leveling((0, 0), 0, 0)
+        block.erase()
+        assert leveler.needs_leveling((0, 0), 0, 0)
+
+    def test_disabled_leveler_never_triggers(self, small_geometry, small_chips, ftl):
+        leveler = WearLeveler(small_geometry, ftl, small_chips, spread_threshold=1, enabled=False)
+        small_chips[(0, 0)].plane(0, 0).blocks[0].erase()
+        assert not leveler.needs_leveling((0, 0), 0, 0)
+
+    def test_level_plane_moves_cold_data(self, small_geometry, small_chips, ftl):
+        leveler = WearLeveler(small_geometry, ftl, small_chips, spread_threshold=2)
+        # Write data that lands (among others) on plane (0,0,0,0).
+        target_lpns = []
+        for lpn in range(small_geometry.num_planes * 2):
+            address = ftl.translate_write(lpn)
+            if address.plane_key == (0, 0, 0, 0):
+                target_lpns.append(lpn)
+        # Make another block of that plane look heavily worn.
+        plane = small_chips[(0, 0)].plane(0, 0)
+        for _ in range(3):
+            plane.blocks[-1].erase()
+        moves = leveler.level_plane((0, 0), 0, 0)
+        assert leveler.needs_leveling((0, 0), 0, 0) in (True, False)
+        assert isinstance(moves, list)
+        if target_lpns:
+            assert moves, "expected the cold block's live data to be migrated"
+            assert leveler.swaps_performed == 1
+
+    def test_level_plane_noop_when_balanced(self, small_geometry, small_chips, ftl):
+        leveler = WearLeveler(small_geometry, ftl, small_chips, spread_threshold=5)
+        assert leveler.level_plane((0, 0), 0, 0) == []
+
+
+class TestBadBlockManager:
+    def test_factory_bad_block_excluded_from_allocation(self, small_geometry, small_chips, ftl):
+        manager = BadBlockManager(small_geometry, ftl, small_chips)
+        manager.mark_factory_bad((0, 0), 0, 0, 0)
+        assert manager.bad_block_count == 1
+        assert manager.is_bad((0, 0), 0, 0, 0)
+        plane = small_chips[(0, 0)].plane(0, 0)
+        for _ in range(plane.free_pages):
+            block_id, _ = plane.allocate_page()
+            assert block_id != 0
+
+    def test_factory_bad_rejected_after_writes(self, small_geometry, small_chips, ftl):
+        manager = BadBlockManager(small_geometry, ftl, small_chips)
+        address = ftl.translate_write(0)
+        with pytest.raises(ValueError):
+            manager.mark_factory_bad(address.chip_key, address.die, address.plane, address.block)
+
+    def test_retire_block_relocates_live_data(self, small_geometry, small_chips, ftl):
+        manager = BadBlockManager(small_geometry, ftl, small_chips)
+        address = ftl.translate_write(5)
+        record = manager.retire_block(address.chip_key, address.die, address.plane, address.block)
+        assert record.grown
+        assert record.pages_relocated == 1
+        new_address = ftl.lookup(5)
+        assert new_address is not None
+        assert new_address != address
+        assert manager.is_bad(address.chip_key, address.die, address.plane, address.block)
+
+    def test_retire_empty_block(self, small_geometry, small_chips, ftl):
+        manager = BadBlockManager(small_geometry, ftl, small_chips)
+        record = manager.retire_block((0, 0), 0, 0, 3)
+        assert record.pages_relocated == 0
+
+    def test_spare_capacity_shrinks(self, small_geometry, small_chips, ftl):
+        manager = BadBlockManager(small_geometry, ftl, small_chips)
+        before = manager.spare_capacity_pages()
+        manager.mark_factory_bad((0, 0), 0, 0, 1)
+        assert manager.spare_capacity_pages() == before - small_geometry.pages_per_block
