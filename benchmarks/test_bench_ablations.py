@@ -2,7 +2,9 @@
 
 These go beyond the paper's figures: they quantify how much each Sprinkler
 design decision contributes by toggling it while keeping everything else
-fixed.
+fixed.  The grid is declared as :class:`~repro.experiments.spec.SimJob` data
+and executed through the shared :class:`~repro.experiments.engine.ExecutionEngine`,
+like every figure module.
 
 * FARO over-commitment depth (full over-commitment vs committing one request
   per chip visit).
@@ -11,34 +13,39 @@ fixed.
 * Device-queue depth sensitivity (Sprinkler needs queued work to sprinkle).
 """
 
-from repro.experiments.runner import clone_workload
+from repro.experiments.engine import ExecutionEngine
+from repro.experiments.spec import ExperimentSpec, SimJob, WorkloadSpec
 from repro.sim.config import SimulationConfig
-from repro.sim.ssd import SSDSimulator
-from repro.workloads.datacenter import generate_datacenter_trace
 
 KB = 1024
 
 
 def _trace(num_requests=96):
-    return generate_datacenter_trace("cfs3", num_requests=num_requests, seed=13)
+    return WorkloadSpec.datacenter("cfs3", num_requests=num_requests, seed=13)
 
 
-def _run(config, scheduler, workload, options=None):
-    simulator = SSDSimulator(config, scheduler, scheduler_options=options)
-    return simulator.run(clone_workload(workload), workload_name="ablation")
+def _run_grid(jobs):
+    spec = ExperimentSpec("ablation", tuple(jobs))
+    return ExecutionEngine().run(spec)
 
 
 def test_bench_ablation_faro_overcommit(benchmark, run_once):
     """FARO over-commitment vs one-request-per-visit commitment."""
     config = SimulationConfig.paper_scale(64)
     workload = _trace()
+    jobs = [
+        SimJob(workload=workload, scheduler="SPK3", config=config, key=("full",)),
+        SimJob(
+            workload=workload,
+            scheduler="SPK3",
+            config=config,
+            scheduler_options=(("overcommit_limit", 1),),
+            key=("limit1",),
+        ),
+    ]
 
-    def run():
-        full = _run(config, "SPK3", workload)
-        shallow = _run(config, "SPK3", workload, options={"overcommit_limit": 1})
-        return full, shallow
-
-    full, shallow = run_once(run)
+    results = run_once(_run_grid, jobs)
+    full, shallow = results[("full",)], results[("limit1",)]
     assert full.coalescing_degree >= shallow.coalescing_degree
     benchmark.extra_info["coalescing_full_overcommit"] = round(full.coalescing_degree, 2)
     benchmark.extra_info["coalescing_limit_1"] = round(shallow.coalescing_degree, 2)
@@ -51,13 +58,19 @@ def test_bench_ablation_rios_traversal(benchmark, run_once):
     """Channel-striped traversal (paper) vs channel-first traversal."""
     config = SimulationConfig.paper_scale(64)
     workload = _trace()
+    jobs = [
+        SimJob(workload=workload, scheduler="SPK3", config=config, key=("striped",)),
+        SimJob(
+            workload=workload,
+            scheduler="SPK3",
+            config=config,
+            scheduler_options=(("channel_first_traversal", True),),
+            key=("channel_first",),
+        ),
+    ]
 
-    def run():
-        striped = _run(config, "SPK3", workload)
-        channel_first = _run(config, "SPK3", workload, options={"channel_first_traversal": True})
-        return striped, channel_first
-
-    striped, channel_first = run_once(run)
+    results = run_once(_run_grid, jobs)
+    striped, channel_first = results[("striped",)], results[("channel_first",)]
     # The channel-striped order should never be meaningfully worse: it spreads
     # consecutive commitments over different channels.
     assert striped.bandwidth_kb_s >= 0.9 * channel_first.bandwidth_kb_s
@@ -68,19 +81,21 @@ def test_bench_ablation_rios_traversal(benchmark, run_once):
 def test_bench_ablation_queue_depth(benchmark, run_once):
     """Sprinkler's gains grow with the amount of queued work it can sprinkle."""
     workload = _trace()
+    jobs = [
+        SimJob(
+            workload=workload,
+            scheduler="SPK3",
+            config=SimulationConfig.paper_scale(64).with_overrides(queue_depth=depth),
+            key=(depth,),
+        )
+        for depth in (4, 64)
+    ]
 
-    def run():
-        results = {}
-        for depth in (4, 64):
-            config = SimulationConfig.paper_scale(64).with_overrides(queue_depth=depth)
-            results[depth] = _run(config, "SPK3", workload)
-        return results
-
-    results = run_once(run)
-    assert results[64].bandwidth_kb_s >= results[4].bandwidth_kb_s * 0.9
+    results = run_once(_run_grid, jobs)
+    assert results[(64,)].bandwidth_kb_s >= results[(4,)].bandwidth_kb_s * 0.9
     benchmark.extra_info["bandwidth_by_queue_depth_kb_s"] = {
-        depth: round(result.bandwidth_kb_s, 1) for depth, result in results.items()
+        depth: round(results[(depth,)].bandwidth_kb_s, 1) for depth in (4, 64)
     }
     benchmark.extra_info["queue_stall_ns_by_depth"] = {
-        depth: result.queue_stall_time_ns for depth, result in results.items()
+        depth: results[(depth,)].queue_stall_time_ns for depth in (4, 64)
     }

@@ -1,0 +1,89 @@
+"""Benchmark: execution-engine backends on the quick ablation grid.
+
+Runs the same declarative job grid (``ExperimentScale.quick()`` sized
+Sprinkler ablation: two over-commit depths x two traversal orders x two
+queue depths) through the serial and process backends, asserts the results
+are identical, and reports the wall-clock speedup.  On a >=4-core machine
+the process backend is expected to finish the grid at least ~2x faster;
+the speedup is recorded in ``extra_info`` (alongside the core count) rather
+than hard-asserted so the suite stays green on single-core CI runners.
+"""
+
+import os
+import pickle
+import time
+
+from repro.experiments.engine import ExecutionEngine
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.spec import ExperimentSpec, SimJob, WorkloadSpec
+from repro.sim.config import SimulationConfig
+
+
+def _quick_ablation_spec() -> ExperimentSpec:
+    scale = ExperimentScale.quick()
+    workload = WorkloadSpec.datacenter(
+        "cfs3", num_requests=scale.requests_per_trace, seed=scale.seed
+    )
+    jobs = []
+    for overcommit in (1, 64):
+        for channel_first in (False, True):
+            for depth in (4, 64):
+                jobs.append(
+                    SimJob(
+                        workload=workload,
+                        scheduler="SPK3",
+                        config=SimulationConfig.paper_scale(scale.num_chips).with_overrides(
+                            queue_depth=depth
+                        ),
+                        scheduler_options=(
+                            ("channel_first_traversal", channel_first),
+                            ("overcommit_limit", overcommit),
+                        ),
+                        key=(overcommit, channel_first, depth),
+                    )
+                )
+    return ExperimentSpec("ablation-quick", tuple(jobs))
+
+
+def test_bench_engine_backends(benchmark, run_once):
+    spec = _quick_ablation_spec()
+
+    def run_both():
+        t0 = time.perf_counter()
+        serial = ExecutionEngine("serial").run(spec)
+        t1 = time.perf_counter()
+        parallel = ExecutionEngine("process").run(spec)
+        t2 = time.perf_counter()
+        return serial, parallel, t1 - t0, t2 - t1
+
+    serial, parallel, serial_s, parallel_s = run_once(run_both)
+    # Hard requirement regardless of core count: identical result values.
+    assert list(serial) == list(parallel)
+    for key in serial:
+        assert pickle.dumps(serial[key]) == pickle.dumps(parallel[key])
+    benchmark.extra_info["jobs"] = len(spec)
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["process_s"] = round(parallel_s, 3)
+    benchmark.extra_info["speedup_process_over_serial"] = round(
+        serial_s / max(1e-9, parallel_s), 2
+    )
+
+
+def test_bench_engine_cache(benchmark, run_once, tmp_path):
+    """Warm-cache rerun of the ablation grid should execute zero jobs."""
+    spec = _quick_ablation_spec()
+    warm = ExecutionEngine("serial", cache_dir=tmp_path)
+    warm.run(spec)
+
+    def rerun():
+        engine = ExecutionEngine("serial", cache_dir=tmp_path)
+        t0 = time.perf_counter()
+        results = engine.run(spec)
+        return engine, results, time.perf_counter() - t0
+
+    engine, results, cached_s = run_once(rerun)
+    assert engine.stats.jobs_executed == 0
+    assert engine.stats.cache_hits == len(spec)
+    assert len(results) == len(spec)
+    benchmark.extra_info["cached_rerun_s"] = round(cached_s, 3)

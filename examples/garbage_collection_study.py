@@ -7,21 +7,24 @@ garbage collection fires constantly.  VAS and PAS run without a readdressing
 callback; SPK3 keeps its callback and therefore keeps re-spreading and
 re-coalescing memory requests as live data migrates.
 
-Run with::
+Run with (add ``--backend process`` to parallelise over cores)::
 
     python examples/garbage_collection_study.py
 """
 
 from repro import format_table
 from repro.experiments import figure17
+from repro.experiments.engine import engine_from_cli
 
 
 def main() -> None:
+    engine = engine_from_cli("Garbage collection impact (Figure 17)")
     rows = figure17.run_figure17(
         chip_counts=(64,),
         transfer_sizes_kb=(16, 64, 256),
         schedulers=("VAS", "PAS", "SPK3"),
         requests_per_point=32,
+        engine=engine,
     )
     print(format_table(rows, title="Garbage collection impact (Figure 17)"))
     print()

@@ -9,6 +9,11 @@ chip utilisation, flash-level parallelism).
 Run with::
 
     python examples/quickstart.py
+
+This is the lowest-level, single-simulation API.  For grids of simulations
+(many workloads x schedulers x configs) declare an ``ExperimentSpec`` and run
+it through ``repro.experiments.engine.ExecutionEngine`` instead - see
+``examples/scheduler_comparison.py``.
 """
 
 from repro import SimulationConfig, run_workload

@@ -6,30 +6,39 @@ cfs3, msnfs1, proj0) against the same 64-chip SSD under VAS, PAS, SPK1, SPK2
 and SPK3 and prints a per-trace comparison table plus the headline speedups
 (the paper reports SPK3 at >= 2.2x VAS and >= 1.8x PAS bandwidth).
 
-Run with::
+The grid is declared once as an ``ExperimentSpec`` and executed by the shared
+engine, so the twenty simulations parallelise over cores with::
 
-    python examples/scheduler_comparison.py
+    python examples/scheduler_comparison.py --backend process --workers 8
 """
 
 from repro import SCHEDULER_NAMES, SimulationConfig, format_table
-from repro.experiments.runner import clone_workload
-from repro.sim.ssd import SSDSimulator
-from repro.workloads import generate_datacenter_trace
+from repro.experiments.engine import engine_from_cli
+from repro.experiments.spec import ExperimentSpec, WorkloadSpec
 
 TRACES = ("cfs0", "cfs3", "msnfs1", "proj0")
 REQUESTS_PER_TRACE = 200
 
 
 def main() -> None:
-    config = SimulationConfig.paper_scale(num_chips=64)
+    engine = engine_from_cli("Scheduler comparison (Figure 10 in miniature)")
+    spec = ExperimentSpec.matrix(
+        "scheduler-comparison",
+        [
+            WorkloadSpec.datacenter(trace, num_requests=REQUESTS_PER_TRACE, seed=7)
+            for trace in TRACES
+        ],
+        SCHEDULER_NAMES,
+        SimulationConfig.paper_scale(num_chips=64),
+    )
+    results = engine.run(spec)
+
     rows = []
     speedups = {}
     for trace in TRACES:
-        workload = generate_datacenter_trace(trace, num_requests=REQUESTS_PER_TRACE, seed=7)
         bandwidths = {}
         for scheduler in SCHEDULER_NAMES:
-            simulator = SSDSimulator(config, scheduler)
-            result = simulator.run(clone_workload(workload), workload_name=trace)
+            result = results[(trace, scheduler)]
             bandwidths[scheduler] = result.bandwidth_kb_s
             rows.append(
                 {

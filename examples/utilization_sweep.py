@@ -7,23 +7,26 @@ variants.  The paper's shape: VAS utilisation collapses as the SSD grows,
 SPK1 only helps for large transfers, SPK2 only for small ones, and SPK3 is
 high and sustainable across the whole sweep.
 
-Run with::
+Run with (add ``--backend process`` to parallelise over cores)::
 
     python examples/utilization_sweep.py
 """
 
 from repro import format_table
 from repro.experiments import figure15
+from repro.experiments.engine import engine_from_cli
 
 KB = 1024
 
 
 def main() -> None:
+    engine = engine_from_cli("Chip utilisation vs transfer size (Figure 15)")
     rows = figure15.run_figure15(
         chip_counts=(64, 256),
         transfer_sizes_kb=(4, 16, 64, 256, 1024),
         schedulers=("VAS", "SPK1", "SPK2", "SPK3"),
         requests_per_point=24,
+        engine=engine,
     )
     print(format_table(rows, title="Chip utilisation vs transfer size (Figure 15)"))
     print()

@@ -36,10 +36,32 @@ from repro.workloads import (
 
 __version__ = "1.0.0"
 
+#: Experiment-layer classes re-exported lazily so that plain ``import repro``
+#: (the single-simulation quickstart path) does not pay for importing the
+#: whole experiment suite (all figure modules, argparse, concurrent.futures).
+_LAZY_EXPORTS = {
+    "ExecutionEngine": "repro.experiments.engine",
+    "ExperimentSpec": "repro.experiments.spec",
+    "SimJob": "repro.experiments.spec",
+    "WorkloadSpec": "repro.experiments.spec",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY_EXPORTS[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "SCHEDULER_NAMES",
     "Sprinkler",
     "make_scheduler",
+    "ExecutionEngine",
+    "ExperimentSpec",
+    "SimJob",
+    "WorkloadSpec",
     "FlashTiming",
     "SSDGeometry",
     "SimulationResult",

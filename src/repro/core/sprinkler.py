@@ -29,7 +29,8 @@ not group them for FLP; *SPK3* does both.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional
 
 from repro.core.faro import FaroPolicy
 from repro.core.rios import RiosTraversal
@@ -65,7 +66,7 @@ class Sprinkler(SchedulerBase):
         self.overcommit_limit = max(1, overcommit_limit)
         self.faro = FaroPolicy()
         self.traversal = RiosTraversal(context.geometry, channel_first=channel_first_traversal)
-        self._burst: List[MemoryRequest] = []
+        self._burst: Deque[MemoryRequest] = deque()
         #: Incremental per-chip index of not-yet-handed-out memory requests,
         #: so RIOS traversal does not rescan the whole queue per composition.
         self._chip_queues: Dict[tuple, List[MemoryRequest]] = {}
@@ -96,9 +97,10 @@ class Sprinkler(SchedulerBase):
     # ------------------------------------------------------------------
     def next_composition(self, now_ns: int) -> Optional[MemoryRequest]:
         """Return the next memory request according to the active variant."""
-        self._burst = [req for req in self._burst if req.composed_at_ns is None]
-        if self._burst:
-            return self._burst.pop(0)
+        while self._burst:
+            head = self._burst.popleft()
+            if head.composed_at_ns is None:
+                return head
         pending = self._pending_tags()
         if not pending:
             return None
@@ -143,7 +145,7 @@ class Sprinkler(SchedulerBase):
             if leftover:
                 self._chip_queues[chip_key] = leftover + self._chip_queues.get(chip_key, [])
             head, rest = burst[0], burst[1:]
-            self._burst = rest
+            self._burst = deque(rest)
             return head
         return None
 
@@ -164,7 +166,7 @@ class Sprinkler(SchedulerBase):
         ordered = self.faro.order_requests(candidates[chip_key])
         burst = ordered[: self.overcommit_limit]
         head, rest = burst[0], burst[1:]
-        self._burst = rest
+        self._burst = deque(rest)
         return head
 
     # ------------------------------------------------------------------

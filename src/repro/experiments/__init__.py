@@ -1,17 +1,32 @@
 """Experiment harness: one module per table/figure of the paper's evaluation.
 
-Every module exposes a ``run_*`` function returning plain row dictionaries
-(easy to print, assert on, or dump to CSV) plus a ``main`` entry point that
-prints the table.  The modules accept scale parameters so the same code runs
-both the quick benchmark version (seconds) and a full-scale overnight run.
+Every figure module *declares* its grid of (workload, scheduler, config)
+cells as an :class:`~repro.experiments.spec.ExperimentSpec` (``build_spec``)
+and exposes a ``run_*`` function that executes the spec through the shared
+:class:`~repro.experiments.engine.ExecutionEngine` and returns plain row
+dictionaries (easy to print, assert on, or dump to CSV), plus a ``main``
+entry point that prints the table and accepts the engine flags
+(``--backend process --workers N --cache-dir DIR``) for parallel,
+memoized runs.
 """
 
+from repro.experiments.engine import (
+    ExecutionEngine,
+    add_engine_arguments,
+    engine_from_args,
+    engine_from_cli,
+)
 from repro.experiments.runner import (
+    ALL_SCHEDULERS,
     ExperimentScale,
     clone_workload,
     default_trace_set,
+    default_workload_specs,
+    paper_config,
     run_scheduler_matrix,
+    run_single,
 )
+from repro.experiments.spec import ExperimentSpec, SimJob, WorkloadSpec
 from repro.experiments import (
     figure01,
     figure06,
@@ -27,10 +42,21 @@ from repro.experiments import (
 )
 
 __all__ = [
+    "ALL_SCHEDULERS",
+    "ExecutionEngine",
     "ExperimentScale",
+    "ExperimentSpec",
+    "SimJob",
+    "WorkloadSpec",
+    "add_engine_arguments",
+    "engine_from_args",
+    "engine_from_cli",
     "clone_workload",
     "default_trace_set",
+    "default_workload_specs",
+    "paper_config",
     "run_scheduler_matrix",
+    "run_single",
     "figure01",
     "figure06",
     "figure10",

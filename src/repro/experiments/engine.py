@@ -1,0 +1,244 @@
+"""Shared execution engine for the experiment suite.
+
+:class:`ExecutionEngine` takes an :class:`~repro.experiments.spec.ExperimentSpec`
+(or a bare job list), executes every job through a pluggable backend and
+reassembles the results in declaration order:
+
+* ``serial`` - run jobs one after another in this process (the default; what
+  the old per-figure loops did, minus the copy-pasta).
+* ``process`` - fan jobs out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+  Only the *specs* are pickled to workers; each worker regenerates its
+  workload from the spec's seed, so traces never cross the process boundary
+  and results are bit-identical to a serial run.
+
+Independently of the backend, completed jobs can be memoized in an on-disk
+cache keyed by the job's content fingerprint: re-running a figure with one
+knob changed only re-simulates the affected cells.
+
+Command-line entry points share the ``--backend/--workers/--cache-dir``
+flags via :func:`add_engine_arguments` / :func:`engine_from_cli`::
+
+    PYTHONPATH=src python -m repro.experiments.figure10 --backend process --workers 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.metrics.report import SimulationResult
+from repro.experiments.spec import ExperimentSpec, SimJob, WorkloadSpec
+from repro.workloads.request import IORequest
+
+BACKENDS = ("serial", "process")
+
+
+def _execute_job(job: SimJob) -> SimulationResult:
+    """Top-level job runner (must be picklable for the process backend)."""
+    return job.execute()
+
+
+def _build_workload(spec: WorkloadSpec) -> List[IORequest]:
+    """Top-level workload builder (picklable for the process backend)."""
+    return spec.build()
+
+
+@dataclass
+class EngineStats:
+    """What the engine did during its lifetime (for tests and reporting)."""
+
+    jobs_submitted: int = 0
+    jobs_executed: int = 0
+    cache_hits: int = 0
+    cache_stores: int = 0
+
+
+class ResultCache:
+    """Content-addressed on-disk memo of completed simulation jobs.
+
+    One pickle file per job fingerprint.  Writes go through a temp file +
+    atomic rename so a killed run never leaves a truncated entry; unreadable
+    entries are treated as misses and overwritten.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except FileExistsError as exc:
+            raise ValueError(
+                f"cache dir {self.directory} exists and is not a directory"
+            ) from exc
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.pkl"
+
+    def load(self, fingerprint: str) -> Optional[SimulationResult]:
+        """Return the cached result, or ``None`` on a miss."""
+        path = self._path(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            return None
+
+    def store(self, fingerprint: str, result: SimulationResult) -> None:
+        """Persist one result atomically."""
+        path = self._path(fingerprint)
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.directory), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except Exception:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+
+class ExecutionEngine:
+    """Executes experiment specs through a pluggable, cache-aware backend."""
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        *,
+        max_workers: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive (or None for CPU count)")
+        self.backend = backend
+        self.max_workers = max_workers
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, spec: ExperimentSpec) -> Dict[Tuple[Any, ...], SimulationResult]:
+        """Run a whole experiment; results keyed by each job's ``key``.
+
+        The mapping is assembled in job declaration order, so iterating it is
+        deterministic regardless of backend or completion order.
+        """
+        results = self.run_jobs(spec.jobs)
+        return {job.key: result for job, result in zip(spec.jobs, results)}
+
+    def run_jobs(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
+        """Run jobs (cache-first), returning results in job order."""
+        self.stats.jobs_submitted += len(jobs)
+        results: List[Optional[SimulationResult]] = [None] * len(jobs)
+        pending: List[int] = []
+        fingerprints: List[Optional[str]] = [None] * len(jobs)
+        for index, job in enumerate(jobs):
+            if self.cache is not None:
+                fingerprints[index] = job.fingerprint()
+                cached = self.cache.load(fingerprints[index])
+                if cached is not None:
+                    results[index] = cached
+                    self.stats.cache_hits += 1
+                    continue
+            pending.append(index)
+
+        # Results are cached as each job completes (not after the whole
+        # batch), so an interrupted long sweep keeps the work it finished.
+        for index, result in self._execute_indexed([jobs[i] for i in pending], _execute_job, pending):
+            results[index] = result
+            self.stats.jobs_executed += 1
+            if self.cache is not None:
+                self.cache.store(fingerprints[index], result)
+                self.stats.cache_stores += 1
+        return results  # type: ignore[return-value]
+
+    def build_workloads(self, specs: Sequence[WorkloadSpec]) -> Dict[str, List[IORequest]]:
+        """Materialise workload specs (through the backend), keyed by name.
+
+        Pure-workload experiments (Table 1) and legacy helpers use this to
+        route trace generation through the same serial/process machinery.
+        """
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("workload specs have duplicate names; results would collide")
+        built = self._execute(list(specs), _build_workload)
+        return {spec.name: workload for spec, workload in zip(specs, built)}
+
+    # ------------------------------------------------------------------
+    # Backends
+    # ------------------------------------------------------------------
+    def _execute(self, items: List[Any], fn) -> List[Any]:
+        """Run ``fn`` over ``items`` through the backend, in item order."""
+        results: List[Any] = [None] * len(items)
+        for index, result in self._execute_indexed(items, fn, list(range(len(items)))):
+            results[index] = result
+        return results
+
+    def _execute_indexed(self, items: List[Any], fn, labels: List[int]):
+        """Yield ``(label, fn(item))`` pairs as each item completes.
+
+        Single dispatch point for backend selection: ``labels`` carries the
+        caller's index for each item so completion order never matters.
+        """
+        if not items:
+            return
+        if self.backend == "serial" or len(items) == 1:
+            for label, item in zip(labels, items):
+                yield label, fn(item)
+            return
+        max_workers = self.max_workers or min(len(items), os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {pool.submit(fn, item): label for label, item in zip(labels, items)}
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+
+
+# ----------------------------------------------------------------------
+# Command-line plumbing shared by every figure module's ``main``
+# ----------------------------------------------------------------------
+def add_engine_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the standard ``--backend/--workers/--cache-dir`` flags."""
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="serial",
+        help="job execution backend (process = parallel over CPU cores)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --backend process (default: CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory memoizing completed jobs by content fingerprint",
+    )
+    return parser
+
+
+def engine_from_args(args: argparse.Namespace) -> ExecutionEngine:
+    """Build an engine from a parsed :func:`add_engine_arguments` namespace."""
+    return ExecutionEngine(args.backend, max_workers=args.workers, cache_dir=args.cache_dir)
+
+
+def engine_from_cli(description: str, argv: Optional[Sequence[str]] = None) -> ExecutionEngine:
+    """Parse the standard engine flags and return the configured engine."""
+    parser = argparse.ArgumentParser(description=description)
+    add_engine_arguments(parser)
+    return engine_from_args(parser.parse_args(argv))

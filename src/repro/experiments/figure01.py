@@ -18,11 +18,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.runner import clone_workload
+from repro.experiments.engine import ExecutionEngine, engine_from_cli
+from repro.experiments.spec import ExperimentSpec, SimJob, WorkloadSpec
 from repro.metrics.report import format_table
 from repro.sim.config import SimulationConfig
-from repro.sim.ssd import SSDSimulator
-from repro.workloads.synthetic import generate_random_workload
 
 KB = 1024
 
@@ -40,6 +39,38 @@ def _config_for_dies(num_dies: int) -> SimulationConfig:
     )
 
 
+def build_spec(
+    die_counts: Sequence[int] = DEFAULT_DIE_COUNTS,
+    transfer_sizes_kb: Sequence[int] = DEFAULT_TRANSFER_SIZES_KB,
+    *,
+    requests_per_point: int = 48,
+    scheduler: str = "VAS",
+    seed: int = 11,
+) -> ExperimentSpec:
+    """Declare the die-count x transfer-size grid under one scheduler."""
+    jobs: List[SimJob] = []
+    for size_kb in transfer_sizes_kb:
+        workload = WorkloadSpec.random(
+            f"seq-{size_kb}KB",
+            num_requests=requests_per_point,
+            size_bytes=size_kb * KB,
+            address_space_bytes=max(64, size_kb * 8) * KB * requests_per_point,
+            read_fraction=1.0,
+            interarrival_ns=1_000,
+            seed=seed,
+        )
+        for num_dies in die_counts:
+            jobs.append(
+                SimJob(
+                    workload=workload,
+                    scheduler=scheduler,
+                    config=_config_for_dies(num_dies),
+                    key=(size_kb, num_dies),
+                )
+            )
+    return ExperimentSpec("figure01", tuple(jobs))
+
+
 def run_figure01(
     die_counts: Sequence[int] = DEFAULT_DIE_COUNTS,
     transfer_sizes_kb: Sequence[int] = DEFAULT_TRANSFER_SIZES_KB,
@@ -47,32 +78,31 @@ def run_figure01(
     requests_per_point: int = 48,
     scheduler: str = "VAS",
     seed: int = 11,
+    engine: Optional[ExecutionEngine] = None,
 ) -> List[Dict[str, object]]:
     """Sweep die count x transfer size with a conventional controller."""
+    spec = build_spec(
+        die_counts,
+        transfer_sizes_kb,
+        requests_per_point=requests_per_point,
+        scheduler=scheduler,
+        seed=seed,
+    )
+    results = (engine or ExecutionEngine()).run(spec)
     rows: List[Dict[str, object]] = []
-    for size_kb in transfer_sizes_kb:
-        for num_dies in die_counts:
-            config = _config_for_dies(num_dies)
-            workload = generate_random_workload(
-                num_requests=requests_per_point,
-                size_bytes=size_kb * KB,
-                address_space_bytes=max(64, size_kb * 8) * KB * requests_per_point,
-                read_fraction=1.0,
-                interarrival_ns=1_000,
-                seed=seed,
-            )
-            simulator = SSDSimulator(config, scheduler)
-            result = simulator.run(clone_workload(workload), workload_name=f"seq-{size_kb}KB")
-            rows.append(
-                {
-                    "transfer_kb": size_kb,
-                    "num_dies": config.geometry.num_dies,
-                    "num_chips": config.geometry.num_chips,
-                    "bandwidth_mb_s": round(result.bandwidth_kb_s / 1024.0, 1),
-                    "chip_utilization_pct": round(100.0 * result.chip_utilization, 1),
-                    "idleness_pct": round(100.0 * result.inter_chip_idleness, 1),
-                }
-            )
+    for job in spec.jobs:
+        size_kb, _ = job.key
+        result = results[job.key]
+        rows.append(
+            {
+                "transfer_kb": size_kb,
+                "num_dies": job.config.geometry.num_dies,
+                "num_chips": job.config.geometry.num_chips,
+                "bandwidth_mb_s": round(result.bandwidth_kb_s / 1024.0, 1),
+                "chip_utilization_pct": round(100.0 * result.chip_utilization, 1),
+                "idleness_pct": round(100.0 * result.inter_chip_idleness, 1),
+            }
+        )
     return rows
 
 
@@ -91,9 +121,10 @@ def stagnation_summary(rows: Sequence[Dict[str, object]]) -> Dict[int, float]:
     return summary
 
 
-def main() -> None:
+def main(argv: Optional[Sequence[str]] = None) -> None:
     """Print the Figure 1 sweep and the stagnation summary."""
-    rows = run_figure01()
+    engine = engine_from_cli("Figure 1: many-chip SSD scaling under VAS", argv)
+    rows = run_figure01(engine=engine)
     print(format_table(rows, title="Figure 1: scaling of a conventional (VAS) controller"))
     print()
     print("Bandwidth gain largest/smallest SSD per transfer size:", stagnation_summary(rows))

@@ -15,25 +15,38 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.engine import ExecutionEngine, engine_from_cli
 from repro.experiments.runner import (
     ExperimentScale,
-    default_trace_set,
+    default_workload_specs,
     paper_config,
-    run_scheduler_matrix,
 )
+from repro.experiments.spec import ExperimentSpec
 from repro.metrics.report import format_table
 
 SCHEDULERS = ("VAS", "PAS", "SPK3")
 
 
+def build_spec(scale: Optional[ExperimentScale] = None) -> ExperimentSpec:
+    """Declare the Figure 6 grid: every trace under VAS, PAS and SPK3."""
+    scale = scale or ExperimentScale.quick()
+    return ExperimentSpec.matrix(
+        "figure06",
+        default_workload_specs(scale).values(),
+        SCHEDULERS,
+        paper_config(scale),
+    )
+
+
 def run_figure06(
     scale: Optional[ExperimentScale] = None,
+    *,
+    engine: Optional[ExecutionEngine] = None,
 ) -> List[Dict[str, object]]:
     """Chip utilisation under VAS (typical), PAS (improved), SPK3 (potential)."""
     scale = scale or ExperimentScale.quick()
-    traces = default_trace_set(scale)
-    config = paper_config(scale)
-    results = run_scheduler_matrix(traces, SCHEDULERS, config)
+    traces = scale.traces
+    results = (engine or ExecutionEngine()).run(build_spec(scale))
     rows: List[Dict[str, object]] = []
     for trace in traces:
         row: Dict[str, object] = {"trace": trace}
@@ -63,9 +76,10 @@ def averages(rows: Sequence[Dict[str, object]]) -> Dict[str, float]:
     }
 
 
-def main() -> None:
+def main(argv: Optional[Sequence[str]] = None) -> None:
     """Print the Figure 6 table and the cross-trace averages."""
-    rows = run_figure06()
+    engine = engine_from_cli("Figure 6: chip utilisation and improvement potential", argv)
+    rows = run_figure06(engine=engine)
     print(format_table(rows, title="Figure 6: chip utilisation and improvement potential"))
     print()
     print("Averages:", averages(rows))

@@ -16,25 +16,41 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.engine import ExecutionEngine, engine_from_cli
 from repro.experiments.runner import (
     ALL_SCHEDULERS,
     ExperimentScale,
-    default_trace_set,
+    default_workload_specs,
     paper_config,
-    run_scheduler_matrix,
 )
+from repro.experiments.spec import ExperimentSpec
 from repro.metrics.report import SimulationResult, format_table
+
+
+def build_spec(
+    scale: Optional[ExperimentScale] = None,
+    schedulers: Sequence[str] = ALL_SCHEDULERS,
+) -> ExperimentSpec:
+    """Declare the Figure 10 grid: every trace under all five schedulers."""
+    scale = scale or ExperimentScale.quick()
+    return ExperimentSpec.matrix(
+        "figure10",
+        default_workload_specs(scale).values(),
+        schedulers,
+        paper_config(scale),
+    )
 
 
 def run_figure10(
     scale: Optional[ExperimentScale] = None,
     schedulers: Sequence[str] = ALL_SCHEDULERS,
+    *,
+    engine: Optional[ExecutionEngine] = None,
 ) -> List[Dict[str, object]]:
     """Bandwidth / IOPS / latency / queue-stall rows per (trace, scheduler)."""
     scale = scale or ExperimentScale.quick()
-    traces = default_trace_set(scale)
-    config = paper_config(scale)
-    results = run_scheduler_matrix(traces, schedulers, config)
+    traces = scale.traces
+    results = (engine or ExecutionEngine()).run(build_spec(scale, schedulers))
     rows: List[Dict[str, object]] = []
     for trace in traces:
         vas_stall = max(1, results[(trace, "VAS")].queue_stall_time_ns) if "VAS" in schedulers else 1
@@ -81,9 +97,10 @@ def latency_reduction(
     return reductions
 
 
-def main() -> None:
+def main(argv: Optional[Sequence[str]] = None) -> None:
     """Print the Figure 10 table plus the headline ratios."""
-    rows = run_figure10()
+    engine = engine_from_cli("Figure 10: system performance of the five schedulers", argv)
+    rows = run_figure10(engine=engine)
     print(format_table(rows, title="Figure 10: bandwidth / IOPS / latency / queue stall"))
     print()
     print("SPK3 bandwidth over VAS:", speedups_over(rows, "VAS", "SPK3"))

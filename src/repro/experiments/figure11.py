@@ -16,25 +16,41 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.engine import ExecutionEngine, engine_from_cli
 from repro.experiments.runner import (
     ALL_SCHEDULERS,
     ExperimentScale,
-    default_trace_set,
+    default_workload_specs,
     paper_config,
-    run_scheduler_matrix,
 )
+from repro.experiments.spec import ExperimentSpec
 from repro.metrics.report import format_table
+
+
+def build_spec(
+    scale: Optional[ExperimentScale] = None,
+    schedulers: Sequence[str] = ALL_SCHEDULERS,
+) -> ExperimentSpec:
+    """Declare the Figure 11 grid: every trace under the selected schedulers."""
+    scale = scale or ExperimentScale.quick()
+    return ExperimentSpec.matrix(
+        "figure11",
+        default_workload_specs(scale).values(),
+        schedulers,
+        paper_config(scale),
+    )
 
 
 def run_figure11(
     scale: Optional[ExperimentScale] = None,
     schedulers: Sequence[str] = ALL_SCHEDULERS,
+    *,
+    engine: Optional[ExecutionEngine] = None,
 ) -> List[Dict[str, object]]:
     """Inter- and intra-chip idleness rows per (trace, scheduler)."""
     scale = scale or ExperimentScale.quick()
-    traces = default_trace_set(scale)
-    config = paper_config(scale)
-    results = run_scheduler_matrix(traces, schedulers, config)
+    traces = scale.traces
+    results = (engine or ExecutionEngine()).run(build_spec(scale, schedulers))
     rows: List[Dict[str, object]] = []
     for trace in traces:
         for scheduler in schedulers:
@@ -66,9 +82,10 @@ def average_reduction(
     return round(sum(reductions) / len(reductions), 3)
 
 
-def main() -> None:
+def main(argv: Optional[Sequence[str]] = None) -> None:
     """Print the Figure 11 table plus the headline reductions."""
-    rows = run_figure11()
+    engine = engine_from_cli("Figure 11: device-level idleness analysis", argv)
+    rows = run_figure11(engine=engine)
     print(format_table(rows, title="Figure 11: inter-chip and intra-chip idleness"))
     print()
     print(

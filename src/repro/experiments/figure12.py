@@ -14,12 +14,26 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.runner import clone_workload, paper_config, ExperimentScale
+from repro.experiments.engine import ExecutionEngine, engine_from_cli
+from repro.experiments.runner import paper_config, ExperimentScale
+from repro.experiments.spec import ExperimentSpec, WorkloadSpec
 from repro.metrics.report import SimulationResult, format_table
-from repro.sim.ssd import SSDSimulator
-from repro.workloads.datacenter import generate_datacenter_trace
 
 SCHEDULERS = ("VAS", "PAS", "SPK3")
+
+
+def build_spec(
+    *,
+    trace_name: str = "msnfs1",
+    num_requests: int = 400,
+    num_chips: int = 64,
+    seed: int = 7,
+    schedulers: Sequence[str] = SCHEDULERS,
+) -> ExperimentSpec:
+    """Declare one time-series replay of ``trace_name`` per scheduler."""
+    scale = ExperimentScale(num_chips=num_chips)
+    workload = WorkloadSpec.datacenter(trace_name, num_requests=num_requests, seed=seed)
+    return ExperimentSpec.matrix("figure12", (workload,), schedulers, paper_config(scale))
 
 
 def run_figure12(
@@ -29,6 +43,7 @@ def run_figure12(
     num_chips: int = 64,
     seed: int = 7,
     schedulers: Sequence[str] = SCHEDULERS,
+    engine: Optional[ExecutionEngine] = None,
 ) -> Dict[str, object]:
     """Latency time series of the first ``num_requests`` I/Os of ``trace_name``.
 
@@ -36,14 +51,18 @@ def run_figure12(
     by request arrival) per scheduler plus the mean latencies and the
     SPK3-vs-baseline reductions.
     """
-    scale = ExperimentScale(num_chips=num_chips)
-    config = paper_config(scale)
-    workload = generate_datacenter_trace(trace_name, num_requests=num_requests, seed=seed)
+    spec = build_spec(
+        trace_name=trace_name,
+        num_requests=num_requests,
+        num_chips=num_chips,
+        seed=seed,
+        schedulers=schedulers,
+    )
+    results = (engine or ExecutionEngine()).run(spec)
     series: Dict[str, List[int]] = {}
     means: Dict[str, float] = {}
     for scheduler in schedulers:
-        simulator = SSDSimulator(config, scheduler)
-        result = simulator.run(clone_workload(workload), workload_name=trace_name)
+        result = results[(trace_name, scheduler)]
         ordered = sorted(result.time_series, key=lambda point: point.arrival_ns)
         series[scheduler] = [point.latency_ns for point in ordered]
         means[scheduler] = result.avg_latency_ns
@@ -81,9 +100,10 @@ def summary_rows(data: Dict[str, object]) -> List[Dict[str, object]]:
     return rows
 
 
-def main() -> None:
+def main(argv: Optional[Sequence[str]] = None) -> None:
     """Print the Figure 12 summary (mean/p99 per scheduler and reductions)."""
-    data = run_figure12()
+    engine = engine_from_cli("Figure 12: time-series latency analysis", argv)
+    data = run_figure12(engine=engine)
     print(format_table(summary_rows(data), title="Figure 12: msnfs1 time-series latency"))
     print()
     print("Latency reductions:", data["latency_reduction"])

@@ -10,26 +10,42 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.engine import ExecutionEngine, engine_from_cli
 from repro.experiments.runner import (
     ExperimentScale,
-    default_trace_set,
+    default_workload_specs,
     paper_config,
-    run_scheduler_matrix,
 )
+from repro.experiments.spec import ExperimentSpec
 from repro.metrics.report import format_table
 
 SCHEDULERS = ("VAS", "PAS", "SPK3")
 
 
+def build_spec(
+    scale: Optional[ExperimentScale] = None,
+    schedulers: Sequence[str] = SCHEDULERS,
+) -> ExperimentSpec:
+    """Declare the Figure 13 grid: every trace under the selected schedulers."""
+    scale = scale or ExperimentScale.quick()
+    return ExperimentSpec.matrix(
+        "figure13",
+        default_workload_specs(scale).values(),
+        schedulers,
+        paper_config(scale),
+    )
+
+
 def run_figure13(
     scale: Optional[ExperimentScale] = None,
     schedulers: Sequence[str] = SCHEDULERS,
+    *,
+    engine: Optional[ExecutionEngine] = None,
 ) -> List[Dict[str, object]]:
     """Execution-breakdown rows (percentages) per (trace, scheduler)."""
     scale = scale or ExperimentScale.quick()
-    traces = default_trace_set(scale)
-    config = paper_config(scale)
-    results = run_scheduler_matrix(traces, schedulers, config)
+    traces = scale.traces
+    results = (engine or ExecutionEngine()).run(build_spec(scale, schedulers))
     rows: List[Dict[str, object]] = []
     for trace in traces:
         for scheduler in schedulers:
@@ -62,9 +78,10 @@ def idleness_elimination(
     return round(sum(reductions) / len(reductions), 3) if reductions else 0.0
 
 
-def main() -> None:
+def main(argv: Optional[Sequence[str]] = None) -> None:
     """Print the Figure 13 table plus the idleness-elimination summary."""
-    rows = run_figure13()
+    engine = engine_from_cli("Figure 13: execution time breakdown", argv)
+    rows = run_figure13(engine=engine)
     print(format_table(rows, title="Figure 13: execution time breakdown (percent)"))
     print()
     print("SPK3 idle-time reduction vs PAS:", idleness_elimination(rows, "PAS", "SPK3"))

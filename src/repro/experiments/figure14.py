@@ -11,26 +11,42 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.engine import ExecutionEngine, engine_from_cli
 from repro.experiments.runner import (
     ExperimentScale,
-    default_trace_set,
+    default_workload_specs,
     paper_config,
-    run_scheduler_matrix,
 )
+from repro.experiments.spec import ExperimentSpec
 from repro.metrics.report import format_table
 
 SCHEDULERS = ("PAS", "SPK1", "SPK2", "SPK3")
 
 
+def build_spec(
+    scale: Optional[ExperimentScale] = None,
+    schedulers: Sequence[str] = SCHEDULERS,
+) -> ExperimentSpec:
+    """Declare the Figure 14 grid: every trace under the selected schedulers."""
+    scale = scale or ExperimentScale.quick()
+    return ExperimentSpec.matrix(
+        "figure14",
+        default_workload_specs(scale).values(),
+        schedulers,
+        paper_config(scale),
+    )
+
+
 def run_figure14(
     scale: Optional[ExperimentScale] = None,
     schedulers: Sequence[str] = SCHEDULERS,
+    *,
+    engine: Optional[ExecutionEngine] = None,
 ) -> List[Dict[str, object]]:
     """FLP-class percentage rows per (trace, scheduler)."""
     scale = scale or ExperimentScale.quick()
-    traces = default_trace_set(scale)
-    config = paper_config(scale)
-    results = run_scheduler_matrix(traces, schedulers, config)
+    traces = scale.traces
+    results = (engine or ExecutionEngine()).run(build_spec(scale, schedulers))
     rows: List[Dict[str, object]] = []
     for trace in traces:
         for scheduler in schedulers:
@@ -60,9 +76,10 @@ def average_high_flp(rows: Sequence[Dict[str, object]]) -> Dict[str, float]:
     }
 
 
-def main() -> None:
+def main(argv: Optional[Sequence[str]] = None) -> None:
     """Print the Figure 14 table plus the per-scheduler high-FLP averages."""
-    rows = run_figure14()
+    engine = engine_from_cli("Figure 14: flash-level parallelism breakdown", argv)
+    rows = run_figure14(engine=engine)
     print(format_table(rows, title="Figure 14: FLP breakdown (percent of transactions)"))
     print()
     print("Average high-FLP share:", average_high_flp(rows))

@@ -13,11 +13,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.runner import clone_workload
+from repro.experiments.engine import ExecutionEngine, engine_from_cli
+from repro.experiments.spec import ExperimentSpec, SimJob, WorkloadSpec
 from repro.metrics.report import format_table
 from repro.sim.config import SimulationConfig
-from repro.sim.ssd import SSDSimulator
-from repro.workloads.synthetic import generate_random_workload
 
 KB = 1024
 
@@ -26,20 +25,21 @@ DEFAULT_TRANSFER_SIZES_KB = (4, 16, 64, 256, 1024)
 DEFAULT_CHIP_COUNTS = (64, 256)
 
 
-def run_figure15(
+def build_spec(
     chip_counts: Sequence[int] = DEFAULT_CHIP_COUNTS,
     transfer_sizes_kb: Sequence[int] = DEFAULT_TRANSFER_SIZES_KB,
     schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
     *,
     requests_per_point: int = 32,
     seed: int = 23,
-) -> List[Dict[str, object]]:
-    """Chip-utilisation rows per (chip count, transfer size, scheduler)."""
-    rows: List[Dict[str, object]] = []
+) -> ExperimentSpec:
+    """Declare the chip-count x transfer-size x scheduler utilisation grid."""
+    jobs: List[SimJob] = []
     for num_chips in chip_counts:
         config = SimulationConfig.paper_scale(num_chips).with_overrides(gc_enabled=False)
         for size_kb in transfer_sizes_kb:
-            workload = generate_random_workload(
+            workload = WorkloadSpec.random(
+                f"sweep-{size_kb}KB",
                 num_requests=requests_per_point,
                 size_bytes=size_kb * KB,
                 address_space_bytes=max(
@@ -50,19 +50,48 @@ def run_figure15(
                 seed=seed,
             )
             for scheduler in schedulers:
-                simulator = SSDSimulator(config, scheduler)
-                result = simulator.run(
-                    clone_workload(workload), workload_name=f"sweep-{size_kb}KB"
+                jobs.append(
+                    SimJob(
+                        workload=workload,
+                        scheduler=scheduler,
+                        config=config,
+                        key=(num_chips, size_kb, scheduler),
+                    )
                 )
-                rows.append(
-                    {
-                        "num_chips": num_chips,
-                        "transfer_kb": size_kb,
-                        "scheduler": scheduler,
-                        "chip_utilization_pct": round(100.0 * result.chip_utilization, 1),
-                        "bandwidth_mb_s": round(result.bandwidth_kb_s / 1024.0, 1),
-                    }
-                )
+    return ExperimentSpec("figure15", tuple(jobs))
+
+
+def run_figure15(
+    chip_counts: Sequence[int] = DEFAULT_CHIP_COUNTS,
+    transfer_sizes_kb: Sequence[int] = DEFAULT_TRANSFER_SIZES_KB,
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    *,
+    requests_per_point: int = 32,
+    seed: int = 23,
+    engine: Optional[ExecutionEngine] = None,
+) -> List[Dict[str, object]]:
+    """Chip-utilisation rows per (chip count, transfer size, scheduler)."""
+    spec = build_spec(
+        chip_counts,
+        transfer_sizes_kb,
+        schedulers,
+        requests_per_point=requests_per_point,
+        seed=seed,
+    )
+    results = (engine or ExecutionEngine()).run(spec)
+    rows: List[Dict[str, object]] = []
+    for job in spec.jobs:
+        num_chips, size_kb, scheduler = job.key
+        result = results[job.key]
+        rows.append(
+            {
+                "num_chips": num_chips,
+                "transfer_kb": size_kb,
+                "scheduler": scheduler,
+                "chip_utilization_pct": round(100.0 * result.chip_utilization, 1),
+                "bandwidth_mb_s": round(result.bandwidth_kb_s / 1024.0, 1),
+            }
+        )
     return rows
 
 
@@ -75,9 +104,10 @@ def average_utilization(rows: Sequence[Dict[str, object]]) -> Dict[tuple, float]
     return {key: round(sum(values) / len(values), 1) for key, values in buckets.items()}
 
 
-def main() -> None:
+def main(argv: Optional[Sequence[str]] = None) -> None:
     """Print the Figure 15 table plus per-configuration averages."""
-    rows = run_figure15()
+    engine = engine_from_cli("Figure 15: chip utilisation vs transfer size", argv)
+    rows = run_figure15(engine=engine)
     print(format_table(rows, title="Figure 15: chip utilisation vs transfer size"))
     print()
     print("Average utilisation per (chips, scheduler):", average_utilization(rows))

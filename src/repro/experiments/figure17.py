@@ -14,11 +14,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.runner import clone_workload
+from repro.experiments.engine import ExecutionEngine, engine_from_cli
+from repro.experiments.spec import ExperimentSpec, SimJob, WorkloadSpec
 from repro.metrics.report import format_table
 from repro.sim.config import SimulationConfig
-from repro.sim.ssd import SSDSimulator
-from repro.workloads.synthetic import SyntheticWorkloadConfig, generate_mixed_workload
 
 KB = 1024
 
@@ -27,20 +26,7 @@ DEFAULT_TRANSFER_SIZES_KB = (16, 64, 256)
 DEFAULT_CHIP_COUNTS = (64,)
 
 
-def _write_heavy_workload(size_kb: int, requests: int, address_space: int, seed: int):
-    config = SyntheticWorkloadConfig(
-        num_requests=requests,
-        size_bytes=size_kb * KB,
-        address_space_bytes=address_space,
-        read_fraction=0.3,
-        randomness=1.0,
-        interarrival_ns=1_500,
-        seed=seed,
-    )
-    return generate_mixed_workload(config)
-
-
-def run_figure17(
+def build_spec(
     chip_counts: Sequence[int] = DEFAULT_CHIP_COUNTS,
     transfer_sizes_kb: Sequence[int] = DEFAULT_TRANSFER_SIZES_KB,
     schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
@@ -49,20 +35,20 @@ def run_figure17(
     prefill_fraction: float = 0.9,
     prefill_overwrite_fraction: float = 0.45,
     seed: int = 41,
-) -> List[Dict[str, object]]:
-    """Bandwidth rows per (chips, transfer size, scheduler, pristine/fragmented).
+) -> ExperimentSpec:
+    """Declare the GC grid: (chips, size, scheduler, pristine/fragmented).
 
-    Pristine runs disable GC (nothing to collect); fragmented runs prefill the
-    drive so the free-block watermark is hit almost immediately.  VAS and PAS
-    run with the readdressing callback disabled (stale in-flight requests pay
-    a re-translation penalty); SPK3 keeps its callback.
+    Pristine cells disable GC (nothing to collect); fragmented cells prefill
+    the drive so the free-block watermark is hit almost immediately.  VAS and
+    PAS run with the readdressing callback disabled (stale in-flight requests
+    pay a re-translation penalty); SPK3 keeps its callback.
 
     The fragmented geometry uses fewer, smaller blocks than the paper's
     8192x128 so that pre-conditioning the drive stays in the seconds range;
     GC frequency and cost per host write are unaffected by that scaling
     because they depend on the occupancy fraction and the valid-page mix.
     """
-    rows: List[Dict[str, object]] = []
+    jobs: List[SimJob] = []
     for num_chips in chip_counts:
         base = SimulationConfig.paper_scale(num_chips)
         # Small blocks keep the bookkeeping prefill fast while preserving the
@@ -75,8 +61,15 @@ def run_figure17(
             64 * KB * requests_per_point * 8,
         )
         for size_kb in transfer_sizes_kb:
-            workload = _write_heavy_workload(
-                size_kb, requests_per_point, max(address_space, 8 * size_kb * KB), seed
+            workload = WorkloadSpec.mixed(
+                f"gc-{size_kb}KB",
+                num_requests=requests_per_point,
+                size_bytes=size_kb * KB,
+                address_space_bytes=max(address_space, 8 * size_kb * KB),
+                read_fraction=0.3,
+                randomness=1.0,
+                interarrival_ns=1_500,
+                seed=seed,
             )
             for scheduler in schedulers:
                 for fragmented in (False, True):
@@ -87,27 +80,65 @@ def run_figure17(
                         prefill_overwrite_fraction=prefill_overwrite_fraction,
                         readdressing_callback=None if scheduler.startswith("SPK") else False,
                     )
-                    simulator = SSDSimulator(config, scheduler)
-                    result = simulator.run(
-                        clone_workload(workload), workload_name=f"gc-{size_kb}KB"
-                    )
-                    rows.append(
-                        {
-                            "num_chips": num_chips,
-                            "transfer_kb": size_kb,
-                            "scheduler": scheduler,
-                            "state": "fragmented" if fragmented else "pristine",
-                            "bandwidth_kb_s": round(result.bandwidth_kb_s, 1),
-                            "gc_invocations": int(result.extra.get("gc_invocations", 0)),
-                            "gc_time_ms": round(result.gc_time_ns / 1e6, 2),
-                            "requests_retargeted": int(
-                                result.extra.get("requests_retargeted", 0)
+                    jobs.append(
+                        SimJob(
+                            workload=workload,
+                            scheduler=scheduler,
+                            config=config,
+                            key=(
+                                num_chips,
+                                size_kb,
+                                scheduler,
+                                "fragmented" if fragmented else "pristine",
                             ),
-                            "requests_penalized": int(
-                                result.extra.get("requests_penalized", 0)
-                            ),
-                        }
+                        )
                     )
+    return ExperimentSpec("figure17", tuple(jobs))
+
+
+def run_figure17(
+    chip_counts: Sequence[int] = DEFAULT_CHIP_COUNTS,
+    transfer_sizes_kb: Sequence[int] = DEFAULT_TRANSFER_SIZES_KB,
+    schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+    *,
+    requests_per_point: int = 48,
+    prefill_fraction: float = 0.9,
+    prefill_overwrite_fraction: float = 0.45,
+    seed: int = 41,
+    engine: Optional[ExecutionEngine] = None,
+) -> List[Dict[str, object]]:
+    """Bandwidth rows per (chips, transfer size, scheduler, pristine/fragmented)."""
+    spec = build_spec(
+        chip_counts,
+        transfer_sizes_kb,
+        schedulers,
+        requests_per_point=requests_per_point,
+        prefill_fraction=prefill_fraction,
+        prefill_overwrite_fraction=prefill_overwrite_fraction,
+        seed=seed,
+    )
+    results = (engine or ExecutionEngine()).run(spec)
+    rows: List[Dict[str, object]] = []
+    for job in spec.jobs:
+        num_chips, size_kb, scheduler, state = job.key
+        result = results[job.key]
+        rows.append(
+            {
+                "num_chips": num_chips,
+                "transfer_kb": size_kb,
+                "scheduler": scheduler,
+                "state": state,
+                "bandwidth_kb_s": round(result.bandwidth_kb_s, 1),
+                "gc_invocations": int(result.extra.get("gc_invocations", 0)),
+                "gc_time_ms": round(result.gc_time_ns / 1e6, 2),
+                "requests_retargeted": int(
+                    result.extra.get("requests_retargeted", 0)
+                ),
+                "requests_penalized": int(
+                    result.extra.get("requests_penalized", 0)
+                ),
+            }
+        )
     return rows
 
 
@@ -159,9 +190,10 @@ def fragmented_advantage(rows: Sequence[Dict[str, object]]) -> Dict[tuple, float
     return ratios
 
 
-def main() -> None:
+def main(argv: Optional[Sequence[str]] = None) -> None:
     """Print the Figure 17 table plus degradation and advantage summaries."""
-    rows = run_figure17()
+    engine = engine_from_cli("Figure 17: garbage collection impact", argv)
+    rows = run_figure17(engine=engine)
     print(format_table(rows, title="Figure 17: garbage collection impact"))
     print()
     print("Bandwidth degradation due to GC:", gc_degradation(rows))

@@ -1,21 +1,25 @@
 """Shared experiment plumbing.
 
 The individual figure modules all need the same ingredients: a set of
-workloads, a set of schedulers, fresh copies of the workload per run (the
-simulator mutates request objects), and a way to collect one
-:class:`~repro.metrics.report.SimulationResult` per (workload, scheduler)
-pair.  This module provides those ingredients once.
+workload *specs*, a set of schedulers, and a way to collect one
+:class:`~repro.metrics.report.SimulationResult` per grid cell.  The grids
+themselves are declared with :mod:`repro.experiments.spec` and executed by
+:mod:`repro.experiments.engine`; this module provides the paper-specific
+ingredients (scales, trace sets, the evaluation-platform config) plus thin
+compatibility wrappers over the engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.experiments.engine import ExecutionEngine
+from repro.experiments.spec import ExperimentSpec, WorkloadSpec
 from repro.metrics.report import SimulationResult
 from repro.sim.config import SimulationConfig
 from repro.sim.ssd import SSDSimulator
-from repro.workloads.datacenter import DATACENTER_TRACE_NAMES, generate_datacenter_trace
+from repro.workloads.datacenter import DATACENTER_TRACE_NAMES
 from repro.workloads.request import IORequest
 
 #: The three schedulers most figures compare, plus the two Sprinkler ablations.
@@ -28,7 +32,7 @@ class ExperimentScale:
 
     ``quick()`` keeps every experiment in the seconds range so the benchmark
     suite stays runnable on a laptop; ``paper()`` approaches the paper's own
-    request counts (hours of CPU in pure Python).
+    request counts (use the engine's process backend for those).
     """
 
     requests_per_trace: int = 200
@@ -53,31 +57,35 @@ class ExperimentScale:
         return cls(requests_per_trace=3000, requests_per_point=256, num_chips=64)
 
 
-def default_trace_set(scale: ExperimentScale) -> Dict[str, List[IORequest]]:
-    """Generate the datacenter traces used by the trace-driven figures."""
+def default_workload_specs(scale: ExperimentScale) -> Dict[str, WorkloadSpec]:
+    """Declarative specs for the datacenter traces the trace-driven figures use."""
     return {
-        name: generate_datacenter_trace(
+        name: WorkloadSpec.datacenter(
             name, num_requests=scale.requests_per_trace, seed=scale.seed
         )
         for name in scale.traces
     }
 
 
+def default_trace_set(
+    scale: ExperimentScale, engine: Optional[ExecutionEngine] = None
+) -> Dict[str, List[IORequest]]:
+    """Generate (materialise) the datacenter traces used by the figures."""
+    engine = engine or ExecutionEngine()
+    return engine.build_workloads(list(default_workload_specs(scale).values()))
+
+
 def clone_workload(workload: Sequence[IORequest]) -> List[IORequest]:
     """Deep-copy a workload so each simulation run starts from pristine state.
 
     The simulator stamps completion times onto the request objects, so reusing
-    the same objects across runs would leak state between schedulers.
+    the same objects across runs would leak state between schedulers.  Cloning
+    goes through :func:`dataclasses.replace` so any field added to
+    :class:`IORequest` later is copied automatically instead of silently
+    sharing (or dropping) state; only the lifecycle timestamps are reset.
     """
     return [
-        IORequest(
-            kind=io.kind,
-            offset_bytes=io.offset_bytes,
-            size_bytes=io.size_bytes,
-            arrival_ns=io.arrival_ns,
-            force_unit_access=io.force_unit_access,
-        )
-        for io in workload
+        replace(io, enqueued_at_ns=None, completed_at_ns=None) for io in workload
     ]
 
 
@@ -94,28 +102,39 @@ def run_single(
 
 
 def run_scheduler_matrix(
-    workloads: Dict[str, Sequence[IORequest]],
+    workloads: Mapping[str, Union[WorkloadSpec, Sequence[IORequest]]],
     schedulers: Iterable[str],
     config: SimulationConfig,
     *,
     config_per_scheduler: Optional[Callable[[str], SimulationConfig]] = None,
     scheduler_options: Optional[Dict[str, Dict[str, object]]] = None,
+    engine: Optional[ExecutionEngine] = None,
+    name: str = "scheduler-matrix",
 ) -> Dict[Tuple[str, str], SimulationResult]:
-    """Run every scheduler against every workload.
+    """Run every scheduler against every workload through the engine.
 
     Returns a mapping ``(workload_name, scheduler_name) -> SimulationResult``.
-    ``config_per_scheduler`` lets an experiment vary the device configuration
-    with the scheduler (e.g. disabling the readdressing callback for VAS/PAS).
+    ``workloads`` may hold :class:`WorkloadSpec` values (preferred - they are
+    what worker processes can rebuild) or raw request lists, which are frozen
+    into inline specs.  ``config_per_scheduler`` lets an experiment vary the
+    device configuration with the scheduler (e.g. disabling the readdressing
+    callback for VAS/PAS).
     """
-    results: Dict[Tuple[str, str], SimulationResult] = {}
-    for workload_name, workload in workloads.items():
-        for scheduler in schedulers:
-            cfg = config_per_scheduler(scheduler) if config_per_scheduler else config
-            options = (scheduler_options or {}).get(scheduler)
-            results[(workload_name, scheduler)] = run_single(
-                workload, scheduler, cfg, workload_name, scheduler_options=options
-            )
-    return results
+    specs = [
+        workload
+        if isinstance(workload, WorkloadSpec)
+        else WorkloadSpec.inline(workload_name, workload)
+        for workload_name, workload in workloads.items()
+    ]
+    spec = ExperimentSpec.matrix(
+        name,
+        specs,
+        tuple(schedulers),
+        config,
+        config_per_scheduler=config_per_scheduler,
+        scheduler_options=scheduler_options,
+    )
+    return (engine or ExecutionEngine()).run(spec)
 
 
 def paper_config(scale: ExperimentScale, **overrides) -> SimulationConfig:

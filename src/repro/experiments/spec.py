@@ -1,0 +1,245 @@
+"""Declarative experiment specifications.
+
+The paper's evaluation is one big matrix of ``(workload x scheduler x
+config)`` simulations.  Instead of every figure module hand-rolling a serial
+loop, a figure now *declares* its grid as data:
+
+* :class:`WorkloadSpec` - a picklable recipe for a workload.  Workers rebuild
+  the trace from ``(generator, params, seed)``, so the request objects
+  themselves never cross a process boundary, and every rebuild renumbers its
+  I/O ids ``0..n-1`` (serial and parallel runs are therefore bit-identical).
+* :class:`SimJob` - one independent simulation: a workload spec, a scheduler
+  name, a full :class:`~repro.sim.config.SimulationConfig` and optional
+  scheduler options, plus a caller-chosen ``key`` used to reassemble results.
+  Jobs have a stable content fingerprint, which doubles as the on-disk cache
+  key of the execution engine.
+* :class:`ExperimentSpec` - a named, ordered collection of jobs, with a
+  :meth:`ExperimentSpec.matrix` helper for the common "every scheduler
+  against every workload" shape.
+
+The specs are pure data; running them is the job of
+:class:`~repro.experiments.engine.ExecutionEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.metrics.report import SimulationResult
+from repro.sim.config import SimulationConfig, stable_fingerprint
+from repro.sim.ssd import SSDSimulator
+from repro.workloads.datacenter import generate_datacenter_trace
+from repro.workloads.request import IOKind, IORequest
+from repro.workloads.synthetic import (
+    SyntheticWorkloadConfig,
+    generate_mixed_workload,
+    generate_random_workload,
+    generate_sequential_workload,
+)
+
+#: Bump when the semantics of job execution change in a way that invalidates
+#: previously cached results.
+SPEC_VERSION = 1
+
+
+def _as_items(mapping: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    """Freeze a keyword mapping into a sorted, hashable tuple of pairs."""
+    if not mapping:
+        return ()
+    return tuple(sorted(mapping.items()))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A reconstructible description of one workload.
+
+    ``generator`` selects the generation routine, ``params`` are its frozen
+    keyword arguments and ``name`` is the label stamped onto results.  The
+    spec (not the generated requests) is what travels to worker processes;
+    :meth:`build` regenerates the exact same trace anywhere because every
+    generator is seed-deterministic and the I/O ids are renumbered ``0..n-1``
+    after generation (the process-global id counter is left untouched).
+
+    Note: because every built workload is numbered from 0, two *built*
+    workloads must not be merged into a single simulator run; each
+    :class:`SimJob` runs exactly one workload, which is the intended use.
+    """
+
+    generator: str
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def datacenter(cls, trace_name: str, *, num_requests: int, seed: int, **extra) -> "WorkloadSpec":
+        """One of the sixteen Table 1 data-center traces."""
+        params = {"name": trace_name, "num_requests": num_requests, "seed": seed, **extra}
+        return cls("datacenter", trace_name, _as_items(params))
+
+    @classmethod
+    def random(cls, name: str, *, num_requests: int, size_bytes: int, **extra) -> "WorkloadSpec":
+        """Uniform-random-offset workload (transfer-size sweeps)."""
+        params = {"num_requests": num_requests, "size_bytes": size_bytes, **extra}
+        return cls("random", name, _as_items(params))
+
+    @classmethod
+    def mixed(cls, name: str, **config_fields) -> "WorkloadSpec":
+        """General synthetic workload (:class:`SyntheticWorkloadConfig` fields)."""
+        return cls("mixed", name, _as_items(config_fields))
+
+    @classmethod
+    def sequential(cls, name: str, *, num_requests: int, size_bytes: int, **extra) -> "WorkloadSpec":
+        """Back-to-back sequential workload."""
+        params = {"num_requests": num_requests, "size_bytes": size_bytes, **extra}
+        return cls("sequential", name, _as_items(params))
+
+    @classmethod
+    def inline(cls, name: str, requests: Sequence[IORequest]) -> "WorkloadSpec":
+        """Freeze an already-materialised request list into a spec.
+
+        Used by legacy call sites that hand the runner raw request lists; the
+        requests are stored as plain value tuples, so the spec stays hashable
+        and rebuilds (with fresh ids) identically in any process.
+        """
+        frozen = tuple(
+            (io.kind.value, io.offset_bytes, io.size_bytes, io.arrival_ns, io.force_unit_access)
+            for io in requests
+        )
+        return cls("inline", name, (("requests", frozen),))
+
+    # -- materialisation -------------------------------------------------
+    def build(self) -> List[IORequest]:
+        """Regenerate the workload from scratch (fresh, deterministic ids)."""
+        params = dict(self.params)
+        if self.generator == "datacenter":
+            requests = generate_datacenter_trace(params.pop("name"), **params)
+        elif self.generator == "random":
+            requests = generate_random_workload(
+                params.pop("num_requests"), params.pop("size_bytes"), **params
+            )
+        elif self.generator == "mixed":
+            requests = generate_mixed_workload(SyntheticWorkloadConfig(**params))
+        elif self.generator == "sequential":
+            requests = generate_sequential_workload(
+                params.pop("num_requests"), params.pop("size_bytes"), **params
+            )
+        elif self.generator == "inline":
+            requests = [
+                IORequest(
+                    kind=IOKind(kind),
+                    offset_bytes=offset,
+                    size_bytes=size,
+                    arrival_ns=arrival,
+                    force_unit_access=fua,
+                )
+                for kind, offset, size, arrival, fua in params["requests"]
+            ]
+        else:
+            raise ValueError(f"unknown workload generator {self.generator!r}")
+        # Renumber in place so the ids a job sees are independent of which
+        # process (and how many prior jobs) generated the trace - this is
+        # what makes serial and parallel runs bit-identical.
+        for index, io in enumerate(requests):
+            io.io_id = index
+        return requests
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the workload recipe."""
+        return stable_fingerprint(("workload", SPEC_VERSION, self.generator, self.name, self.params))
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One independent ``(workload, scheduler, config)`` simulation.
+
+    ``key`` is whatever tuple the declaring experiment wants results keyed
+    by (e.g. ``(trace, scheduler)`` or ``(chips, size_kb, scheduler)``);
+    it does not enter the fingerprint, so relabelling cells never invalidates
+    the cache.
+    """
+
+    workload: WorkloadSpec
+    scheduler: str
+    config: SimulationConfig
+    scheduler_options: Tuple[Tuple[str, Any], ...] = ()
+    key: Tuple[Any, ...] = ()
+
+    @property
+    def options_dict(self) -> Optional[Dict[str, Any]]:
+        """Scheduler options as the keyword dict ``SSDSimulator`` expects."""
+        return dict(self.scheduler_options) if self.scheduler_options else None
+
+    def fingerprint(self) -> str:
+        """Content hash over everything that influences the result.
+
+        Any change to the workload recipe, the scheduler, a scheduler option
+        or *any* config knob (geometry, timing, GC, callbacks ...) yields a
+        different fingerprint; the engine's result cache keys on this.
+        """
+        return stable_fingerprint(
+            (
+                "job",
+                SPEC_VERSION,
+                self.workload.fingerprint(),
+                self.scheduler,
+                # Sorted so semantically equal option sets fingerprint the
+                # same however the caller ordered the pairs.
+                tuple(sorted(self.scheduler_options)),
+                self.config,
+            )
+        )
+
+    def execute(self) -> SimulationResult:
+        """Run this job on a fresh simulator (the engine's unit of work)."""
+        workload = self.workload.build()
+        simulator = SSDSimulator(self.config, self.scheduler, scheduler_options=self.options_dict)
+        return simulator.run(workload, workload_name=self.workload.name)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named, ordered set of independent simulation jobs."""
+
+    name: str
+    jobs: Tuple[SimJob, ...]
+
+    def __post_init__(self) -> None:
+        keys = [job.key for job in self.jobs]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"experiment {self.name!r} has duplicate job keys")
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @classmethod
+    def matrix(
+        cls,
+        name: str,
+        workloads: Iterable[WorkloadSpec],
+        schedulers: Sequence[str],
+        config: SimulationConfig,
+        *,
+        config_per_scheduler: Optional[Callable[[str], SimulationConfig]] = None,
+        scheduler_options: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    ) -> "ExperimentSpec":
+        """Every scheduler against every workload, keyed ``(workload, scheduler)``.
+
+        ``config_per_scheduler`` is evaluated once per scheduler at
+        declaration time, so the resulting spec is still plain data.
+        """
+        jobs: List[SimJob] = []
+        for workload in workloads:
+            for scheduler in schedulers:
+                cfg = config_per_scheduler(scheduler) if config_per_scheduler else config
+                options = _as_items((scheduler_options or {}).get(scheduler))
+                jobs.append(
+                    SimJob(
+                        workload=workload,
+                        scheduler=scheduler,
+                        config=cfg,
+                        scheduler_options=options,
+                        key=(workload.name, scheduler),
+                    )
+                )
+        return cls(name, tuple(jobs))

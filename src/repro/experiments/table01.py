@@ -16,12 +16,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.engine import ExecutionEngine, engine_from_cli
 from repro.experiments.runner import ExperimentScale
+from repro.experiments.spec import WorkloadSpec
 from repro.metrics.report import format_table
 from repro.workloads.datacenter import (
     DATACENTER_TRACE_NAMES,
     datacenter_profile,
-    generate_datacenter_trace,
     trace_table_row,
 )
 from repro.workloads.request import IORequest
@@ -46,29 +47,47 @@ def measured_statistics(trace: Sequence[IORequest]) -> Dict[str, float]:
     }
 
 
+def build_specs(
+    scale: Optional[ExperimentScale] = None,
+    traces: Optional[Sequence[str]] = None,
+) -> List[WorkloadSpec]:
+    """Declare one workload spec per Table 1 trace."""
+    scale = scale or ExperimentScale.quick()
+    names = tuple(traces) if traces is not None else DATACENTER_TRACE_NAMES
+    return [
+        WorkloadSpec.datacenter(name, num_requests=scale.requests_per_trace, seed=scale.seed)
+        for name in names
+    ]
+
+
 def run_table01(
     scale: Optional[ExperimentScale] = None,
     traces: Optional[Sequence[str]] = None,
+    *,
+    engine: Optional[ExecutionEngine] = None,
 ) -> List[Dict[str, object]]:
-    """Build the Table 1 rows (published profile + measured synthetic trace)."""
-    scale = scale or ExperimentScale.quick()
-    names = tuple(traces) if traces is not None else DATACENTER_TRACE_NAMES
+    """Build the Table 1 rows (published profile + measured synthetic trace).
+
+    Trace synthesis routes through the engine's workload builder, so the
+    sixteen generations parallelise under the process backend like any other
+    experiment grid.
+    """
+    specs = build_specs(scale, traces)
+    generated = (engine or ExecutionEngine()).build_workloads(specs)
     rows: List[Dict[str, object]] = []
-    for name in names:
-        row = dict(trace_table_row(name))
-        generated = generate_datacenter_trace(
-            name, num_requests=scale.requests_per_trace, seed=scale.seed
-        )
-        row.update(measured_statistics(generated))
-        profile = datacenter_profile(name)
+    for spec in specs:
+        row = dict(trace_table_row(spec.name))
+        row.update(measured_statistics(generated[spec.name]))
+        profile = datacenter_profile(spec.name)
         row["target_read_fraction"] = round(profile.read_fraction, 3)
         rows.append(row)
     return rows
 
 
-def main() -> None:
+def main(argv: Optional[Sequence[str]] = None) -> None:
     """Print Table 1 (profile and measured synthetic statistics)."""
-    rows = run_table01()
+    engine = engine_from_cli("Table 1: workload characteristics", argv)
+    rows = run_table01(engine=engine)
     print(format_table(rows, title="Table 1: workload characteristics (profile vs synthesised)"))
 
 

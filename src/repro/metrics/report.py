@@ -4,6 +4,11 @@
 :meth:`repro.sim.ssd.SSDSimulator.run` returns: a frozen snapshot of every
 metric the paper's evaluation reports, with convenience properties named
 after the figures they feed.
+
+The result (including every nested metrics dataclass) is plain picklable
+data with value-equality semantics: the execution engine ships it across
+process boundaries and stores it in the on-disk result cache, and tests
+compare serial vs parallel runs byte-for-byte via ``pickle.dumps``.
 """
 
 from __future__ import annotations

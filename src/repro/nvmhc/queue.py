@@ -36,8 +36,9 @@ class DeviceQueue:
         if depth <= 0:
             raise ValueError("queue depth must be positive")
         self.depth = depth
+        # Insertion-ordered: dict order is arrival order, so no separate
+        # order list (whose O(n) removal showed up on retire) is needed.
         self._tags: Dict[int, Tag] = {}
-        self._order: List[int] = []
         self._backlog: Deque[IORequest] = deque()
         self.stats = QueueStats()
 
@@ -98,7 +99,6 @@ class DeviceQueue:
         io.enqueued_at_ns = now_ns
         tag = Tag(io=io, enqueued_at_ns=now_ns)
         self._tags[io.io_id] = tag
-        self._order.append(io.io_id)
         self.stats.enqueued += 1
         return tag
 
@@ -111,7 +111,7 @@ class DeviceQueue:
 
     def tags_in_order(self) -> List[Tag]:
         """Tags in arrival order (the order VAS/PAS scan them)."""
-        return [self._tags[io_id] for io_id in self._order if io_id in self._tags]
+        return list(self._tags.values())
 
     def __iter__(self) -> Iterable[Tag]:
         return iter(self.tags_in_order())
@@ -125,6 +125,5 @@ class DeviceQueue:
     def retire(self, io_id: int) -> Tag:
         """Remove a fully-served tag from the queue, freeing its slot."""
         tag = self._tags.pop(io_id)
-        self._order.remove(io_id)
         self.stats.completed += 1
         return tag

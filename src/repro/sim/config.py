@@ -10,6 +10,9 @@ sweep.
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -17,6 +20,36 @@ from repro.flash.geometry import SSDGeometry
 from repro.flash.timing import FlashTiming
 from repro.flash.transaction import TransactionConstraints
 from repro.ftl.allocation import AllocationOrder
+
+
+def canonicalize(value) -> object:
+    """Reduce a value to a stable, hashable, order-independent form.
+
+    Supports the building blocks simulation specs are made of: (possibly
+    nested, possibly frozen) dataclasses, enums, mappings, sequences and
+    primitives.  The result's ``repr`` is stable across processes and Python
+    sessions, so it can feed a content-addressed cache key.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            (f.name, canonicalize(getattr(value, f.name))) for f in dataclasses.fields(value)
+        )
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.name)
+    if isinstance(value, dict):
+        return ("dict",) + tuple(
+            sorted((str(key), canonicalize(val)) for key, val in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return ("seq",) + tuple(canonicalize(item) for item in value)
+    if value is None or isinstance(value, (str, int, float, bool, bytes)):
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for fingerprinting")
+
+
+def stable_fingerprint(value) -> str:
+    """SHA-256 hex digest of the canonical form of ``value``."""
+    return hashlib.sha256(repr(canonicalize(value)).encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -71,6 +104,15 @@ class SimulationConfig:
     def with_overrides(self, **overrides) -> "SimulationConfig":
         """Return a copy with selected fields replaced."""
         return replace(self, **overrides)
+
+    def fingerprint(self) -> str:
+        """Stable content hash over every knob (geometry, timing, policies).
+
+        Two configs fingerprint identically iff every field (including the
+        nested geometry/timing/constraints dataclasses) is equal, so the
+        experiment engine can use it as part of an on-disk cache key.
+        """
+        return stable_fingerprint(self)
 
     @classmethod
     def small(cls, **overrides) -> "SimulationConfig":

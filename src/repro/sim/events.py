@@ -3,6 +3,12 @@
 The simulator is a classic discrete-event loop: events are stored in a heap
 ordered by (time, sequence number) so that simultaneous events are processed
 in insertion order, which keeps runs fully deterministic.
+
+``Event`` is a :class:`typing.NamedTuple` rather than an ordered dataclass:
+the heap then compares plain tuples in C instead of calling a generated
+``__lt__`` per sift step, which measurably speeds up the simulator's inner
+loop.  The sequence number is unique per queue, so a comparison never falls
+through to the (unorderable) ``kind``/``payload`` fields.
 """
 
 from __future__ import annotations
@@ -10,8 +16,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator, List, NamedTuple, Optional
 
 
 class EventKind(enum.Enum):
@@ -23,21 +28,20 @@ class EventKind(enum.Enum):
     TRANSACTION_DECISION = "transaction_decision"
 
 
-@dataclass(order=True)
-class Event:
+class Event(NamedTuple):
     """One scheduled event.  Ordering is (time, sequence)."""
 
     time_ns: int
     sequence: int
-    kind: EventKind = field(compare=False)
-    payload: Any = field(compare=False, default=None)
+    kind: EventKind
+    payload: Any = None
 
 
 class EventQueue:
     """Deterministic min-heap of events."""
 
     def __init__(self) -> None:
-        self._heap: list = []
+        self._heap: List[Event] = []
         self._sequence = itertools.count()
         self.processed = 0
 
@@ -45,7 +49,7 @@ class EventQueue:
         """Schedule an event at ``time_ns``."""
         if time_ns < 0:
             raise ValueError("event time must be non-negative")
-        event = Event(time_ns=time_ns, sequence=next(self._sequence), kind=kind, payload=payload)
+        event = Event(time_ns, next(self._sequence), kind, payload)
         heapq.heappush(self._heap, event)
         return event
 

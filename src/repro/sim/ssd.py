@@ -21,7 +21,8 @@ Everything is deterministic: same config + same workload -> same result.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.core.policies import make_scheduler
 from repro.core.scheduler import SchedulerBase, SchedulerContext
@@ -111,7 +112,7 @@ class SSDSimulator:
         self.events = EventQueue()
         self.now_ns = 0
         self._tags_by_io: Dict[int, Tag] = {}
-        self._gc_backlog: Dict[tuple, List[GCJob]] = {key: [] for key in self.chips}
+        self._gc_backlog: Dict[tuple, Deque[GCJob]] = {key: deque() for key in self.chips}
         self._decision_pending: set = set()
         self._requests_composed = 0
         self._workload_size = 0
@@ -254,7 +255,7 @@ class SSDSimulator:
             return
         backlog = self._gc_backlog[chip_key]
         if backlog:
-            job = backlog.pop(0)
+            job = backlog.popleft()
             schedule = controller.execute_prebuilt(
                 chip_key, self._gc_transaction(job), self.now_ns
             )

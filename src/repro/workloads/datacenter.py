@@ -24,8 +24,9 @@ time permits.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from repro.workloads.request import IOKind, IORequest
 
@@ -167,7 +168,7 @@ def generate_datacenter_trace(
     max_offset = address_space_bytes - 8 * MB
     read_cursor = _aligned(rng.randint(0, max_offset), page_size_bytes)
     write_cursor = _aligned(rng.randint(0, max_offset), page_size_bytes)
-    recent_offsets: List[int] = []
+    recent_offsets: Deque[int] = deque(maxlen=16)
     now = 0
     for _ in range(num_requests):
         is_read = rng.random() < profile.read_fraction
@@ -194,8 +195,6 @@ def generate_datacenter_trace(
             write_cursor = offset + size
 
         recent_offsets.append(offset)
-        if len(recent_offsets) > 16:
-            recent_offsets.pop(0)
 
         requests.append(
             IORequest(kind=kind, offset_bytes=offset, size_bytes=size, arrival_ns=now)
