@@ -1,0 +1,26 @@
+"""Benchmark: array scaling - device count x placement x scheduler."""
+
+from repro.experiments import array_scaling
+
+
+def test_bench_array_scaling(benchmark, run_once):
+    rows = run_once(
+        array_scaling.run_array_scaling,
+        device_counts=(1, 2, 4),
+        policies=("stripe", "range"),
+        schedulers=("VAS", "SPK3"),
+        num_requests=16,
+        size_kb=128,
+        chips_per_device=16,
+    )
+    by_cell = {
+        (row["devices"], row["policy"], row["scheduler"]): row["bandwidth_mb_s"] for row in rows
+    }
+    # Expected shape: aggregate bandwidth grows with device count, and the
+    # paper's scheduler ranking (SPK3 over VAS) survives host-level striping.
+    assert by_cell[(4, "stripe", "SPK3")] > by_cell[(1, "stripe", "SPK3")]
+    assert by_cell[(4, "stripe", "SPK3")] > by_cell[(4, "stripe", "VAS")]
+    benchmark.extra_info["scaling_efficiency"] = {
+        f"{policy}/{scheduler}": value
+        for (policy, scheduler), value in array_scaling.scaling_efficiency(rows).items()
+    }

@@ -1,0 +1,196 @@
+"""Host-side array simulation: N independent SSDs behind one volume manager.
+
+:class:`ArraySimulation` is the array analogue of
+:class:`~repro.sim.ssd.SSDSimulator`: it takes a placement layout plus a
+per-device ``(scheduler, config)`` setup, expands a workload into one
+:class:`~repro.experiments.spec.SimJob` per device (via
+:class:`~repro.experiments.spec.ArraySpec`) and runs those jobs through the
+existing :class:`~repro.experiments.engine.ExecutionEngine`.  Because every
+device is an ordinary cache-aware job, arrays parallelize over the process
+backend and memoize per device for free.
+
+Device results merge into an :class:`ArrayResult`.  Devices operate
+concurrently and independently (their event clocks never interact), so the
+array aggregate bandwidth/IOPS is *by definition* the sum of the per-device
+figures, while latency percentiles and chip utilisation are computed over
+the pooled array-wide populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.array.layout import ArrayLayout
+from repro.metrics.latency import LatencyStats, merge_latency_stats
+from repro.metrics.report import SimulationResult
+from repro.metrics.utilization import UtilizationReport, merge_utilization_reports
+
+
+@dataclass
+class ArrayResult:
+    """Merged outcome of one workload run across every device of an array."""
+
+    scheduler: str
+    workload: str
+    policy: str
+    num_devices: int
+    device_results: Tuple[SimulationResult, ...]
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    utilization: UtilizationReport = field(default_factory=UtilizationReport)
+
+    # ------------------------------------------------------------------
+    # Aggregate throughput (devices run concurrently -> figures add up)
+    # ------------------------------------------------------------------
+    @property
+    def aggregate_bandwidth_kb_s(self) -> float:
+        """Array bandwidth: the sum of per-device bandwidths."""
+        return sum(result.bandwidth_kb_s for result in self.device_results)
+
+    @property
+    def aggregate_iops(self) -> float:
+        """Array IOPS: the sum of per-device IOPS."""
+        return sum(result.iops for result in self.device_results)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes served across the whole array (conserved by placement)."""
+        return sum(result.total_bytes for result in self.device_results)
+
+    @property
+    def completed_ios(self) -> int:
+        """Per-device commands completed (fragments of split host requests)."""
+        return sum(result.completed_ios for result in self.device_results)
+
+    @property
+    def makespan_ns(self) -> int:
+        """Wall-clock of the array run: the slowest device's makespan."""
+        return max((result.makespan_ns for result in self.device_results), default=0)
+
+    # ------------------------------------------------------------------
+    # Cross-device balance
+    # ------------------------------------------------------------------
+    @property
+    def device_utilization_spread(self) -> float:
+        """Max minus min of the per-device mean chip utilisations."""
+        means = [result.chip_utilization for result in self.device_results]
+        if not means:
+            return 0.0
+        return max(means) - min(means)
+
+    def byte_imbalance(self) -> float:
+        """Max-to-mean ratio of bytes served per device; 1.0 is balanced.
+
+        Returns the ``0.0`` sentinel when the array served no bytes (mirrors
+        :meth:`UtilizationReport.imbalance`).
+        """
+        bytes_per_device = [result.total_bytes for result in self.device_results]
+        mean = sum(bytes_per_device) / len(bytes_per_device) if bytes_per_device else 0.0
+        if mean <= 0.0:
+            return 0.0
+        return max(bytes_per_device) / mean
+
+    @property
+    def chip_utilization(self) -> float:
+        """Mean chip utilisation over every chip of every device."""
+        return self.utilization.mean
+
+    @property
+    def avg_latency_ns(self) -> float:
+        """Mean per-command latency over the pooled array population."""
+        return self.latency.mean_ns
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def summary_row(self) -> Dict[str, object]:
+        """One row of the array-comparison tables."""
+        return {
+            "scheduler": self.scheduler,
+            "workload": self.workload,
+            "policy": self.policy,
+            "devices": self.num_devices,
+            "bandwidth_mb_s": round(self.aggregate_bandwidth_kb_s / 1024.0, 1),
+            "iops": round(self.aggregate_iops, 1),
+            "avg_latency_us": round(self.avg_latency_ns / 1_000.0, 1),
+            "p99_latency_us": round(self.latency.percentile_ns(0.99) / 1_000.0, 1),
+            "chip_utilization": round(self.chip_utilization, 4),
+            "util_spread": round(self.device_utilization_spread, 4),
+            "byte_imbalance": round(self.byte_imbalance(), 3),
+        }
+
+
+def merge_device_results(
+    results: Sequence[SimulationResult],
+    *,
+    scheduler: str,
+    workload: str,
+    policy: str,
+) -> ArrayResult:
+    """Fold per-device :class:`SimulationResult`s into one :class:`ArrayResult`."""
+    return ArrayResult(
+        scheduler=scheduler,
+        workload=workload,
+        policy=policy,
+        num_devices=len(results),
+        device_results=tuple(results),
+        latency=merge_latency_stats([result.latency for result in results]),
+        utilization=merge_utilization_reports([result.utilization for result in results]),
+    )
+
+
+class ArraySimulation:
+    """Runs one workload across a multi-SSD array through the engine."""
+
+    def __init__(
+        self,
+        layout: ArrayLayout,
+        config,
+        scheduler: str = "SPK3",
+        scheduler_options: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.layout = layout
+        self.config = config
+        self.scheduler = scheduler
+        self.scheduler_options = scheduler_options or {}
+
+    def spec(self, workload, key: Tuple[Any, ...] = ()):
+        """The :class:`~repro.experiments.spec.ArraySpec` for one workload."""
+        # Imported lazily: repro.experiments imports this package back (the
+        # array_scaling experiment), so the edge must not exist at load time.
+        from repro.experiments.spec import ArraySpec
+
+        return ArraySpec(
+            workload=workload,
+            num_devices=self.layout.num_devices,
+            scheduler=self.scheduler,
+            config=self.config,
+            policy=self.layout.policy,
+            chunk_bytes=self.layout.chunk_bytes,
+            shard_bytes=self.layout.shard_bytes,
+            scheduler_options=tuple(sorted(self.scheduler_options.items())),
+            key=key,
+        )
+
+    def run(self, workload, engine=None) -> ArrayResult:
+        """Simulate ``workload`` on every device and merge the results.
+
+        ``workload`` is a :class:`~repro.experiments.spec.WorkloadSpec`;
+        ``engine`` defaults to a serial :class:`ExecutionEngine`.  Device
+        jobs go through ``engine.run_jobs``, so backend choice and result
+        caching apply per device.
+        """
+        from repro.experiments.engine import ExecutionEngine
+
+        spec = self.spec(workload)
+        jobs = list(spec.device_jobs())
+        results = (engine or ExecutionEngine()).run_jobs(jobs)
+        return merge_device_results(
+            results,
+            scheduler=self.scheduler,
+            workload=workload.name,
+            # The bare policy name, matching run_array_specs, so rows from
+            # either entry point group together; layout.describe() remains
+            # the human-facing label.
+            policy=self.layout.policy,
+        )

@@ -26,8 +26,9 @@ from repro.experiments.runner import (
     run_scheduler_matrix,
     run_single,
 )
-from repro.experiments.spec import ExperimentSpec, SimJob, WorkloadSpec
+from repro.experiments.spec import ArraySpec, ExperimentSpec, SimJob, WorkloadSpec
 from repro.experiments import (
+    array_scaling,
     figure01,
     figure06,
     figure10,
@@ -43,6 +44,7 @@ from repro.experiments import (
 
 __all__ = [
     "ALL_SCHEDULERS",
+    "ArraySpec",
     "ExecutionEngine",
     "ExperimentScale",
     "ExperimentSpec",
@@ -57,6 +59,7 @@ __all__ = [
     "paper_config",
     "run_scheduler_matrix",
     "run_single",
+    "array_scaling",
     "figure01",
     "figure06",
     "figure10",

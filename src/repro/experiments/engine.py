@@ -24,6 +24,7 @@ flags via :func:`add_engine_arguments` / :func:`engine_from_cli`::
 from __future__ import annotations
 
 import argparse
+import copy
 import os
 import pickle
 import tempfile
@@ -71,9 +72,12 @@ class ResultCache:
         self.directory = Path(directory)
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-        except FileExistsError as exc:
+        # A plain file at the path raises FileExistsError; a plain file
+        # *along* the path (e.g. cache-dir under an existing file) raises
+        # NotADirectoryError on POSIX and FileExistsError elsewhere.
+        except (FileExistsError, NotADirectoryError) as exc:
             raise ValueError(
-                f"cache dir {self.directory} exists and is not a directory"
+                f"cache dir {self.directory} is not usable as a directory"
             ) from exc
 
     def _path(self, fingerprint: str) -> Path:
@@ -141,25 +145,42 @@ class ExecutionEngine:
         return {job.key: result for job, result in zip(spec.jobs, results)}
 
     def run_jobs(self, jobs: Sequence[SimJob]) -> List[SimulationResult]:
-        """Run jobs (cache-first), returning results in job order."""
+        """Run jobs (cache-first), returning results in job order.
+
+        Jobs in one batch that share a content fingerprint are simulated
+        once: duplicates are detected up front (the process backend would
+        otherwise run them all before the first result lands in the cache)
+        and every duplicate index receives the one computed result.
+        """
         self.stats.jobs_submitted += len(jobs)
         results: List[Optional[SimulationResult]] = [None] * len(jobs)
-        pending: List[int] = []
-        fingerprints: List[Optional[str]] = [None] * len(jobs)
+        fingerprints = [job.fingerprint() for job in jobs]
+        pending: Dict[str, List[int]] = {}
         for index, job in enumerate(jobs):
+            fingerprint = fingerprints[index]
+            if fingerprint in pending:
+                pending[fingerprint].append(index)
+                continue
             if self.cache is not None:
-                fingerprints[index] = job.fingerprint()
-                cached = self.cache.load(fingerprints[index])
+                cached = self.cache.load(fingerprint)
                 if cached is not None:
                     results[index] = cached
                     self.stats.cache_hits += 1
                     continue
-            pending.append(index)
+            pending[fingerprint] = [index]
 
         # Results are cached as each job completes (not after the whole
         # batch), so an interrupted long sweep keeps the work it finished.
-        for index, result in self._execute_indexed([jobs[i] for i in pending], _execute_job, pending):
-            results[index] = result
+        representatives = [indices[0] for indices in pending.values()]
+        for index, result in self._execute_indexed(
+            [jobs[i] for i in representatives], _execute_job, representatives
+        ):
+            for duplicate in pending[fingerprints[index]]:
+                # Deep-copy for the duplicates so cold-path results are
+                # independent objects, exactly like cache-hit duplicates
+                # (each unpickled separately) - callers may post-process
+                # their cells in place.
+                results[duplicate] = result if duplicate == index else copy.deepcopy(result)
             self.stats.jobs_executed += 1
             if self.cache is not None:
                 self.cache.store(fingerprints[index], result)

@@ -16,6 +16,9 @@ loop, a figure now *declares* its grid as data:
 * :class:`ExperimentSpec` - a named, ordered collection of jobs, with a
   :meth:`ExperimentSpec.matrix` helper for the common "every scheduler
   against every workload" shape.
+* :class:`ArraySpec` - one multi-SSD array cell: a workload, a placement
+  layout and a per-device setup, expanding into one fingerprinted
+  :class:`SimJob` per device (see :mod:`repro.array`).
 
 The specs are pure data; running them is the job of
 :class:`~repro.experiments.engine.ExecutionEngine`.
@@ -195,6 +198,88 @@ class SimJob:
         workload = self.workload.build()
         simulator = SSDSimulator(self.config, self.scheduler, scheduler_options=self.options_dict)
         return simulator.run(workload, workload_name=self.workload.name)
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """One host-level array cell: a workload striped over ``num_devices`` SSDs.
+
+    The spec captures everything that determines the array outcome - the
+    base workload recipe, the placement layout, and the per-device scheduler
+    and config - and expands into one cache-aware :class:`SimJob` per device
+    (:meth:`device_jobs`).  Each device job freezes its sub-trace via
+    :meth:`WorkloadSpec.inline`, so its fingerprint covers the actual bytes
+    the device serves plus the device label: array cells at the same device
+    count whose placements hand a device an identical sub-trace (e.g. a
+    1-device array under any policy, or stripe vs range over a
+    stripe-aligned trace) share that device's cache entry.
+    """
+
+    workload: WorkloadSpec
+    num_devices: int
+    scheduler: str
+    config: SimulationConfig
+    policy: str = "stripe"
+    chunk_bytes: int = 64 * 1024
+    shard_bytes: Optional[int] = None
+    scheduler_options: Tuple[Tuple[str, Any], ...] = ()
+    key: Tuple[Any, ...] = ()
+
+    def layout(self):
+        """The :class:`repro.array.layout.ArrayLayout` this spec describes."""
+        # Imported lazily: repro.array depends on this module for SimJob.
+        from repro.array.layout import ArrayLayout
+
+        return ArrayLayout(
+            num_devices=self.num_devices,
+            policy=self.policy,
+            chunk_bytes=self.chunk_bytes,
+            shard_bytes=self.shard_bytes,
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash over the workload recipe, layout and device setup."""
+        return stable_fingerprint(
+            (
+                "array",
+                SPEC_VERSION,
+                self.workload.fingerprint(),
+                self.num_devices,
+                self.policy,
+                self.chunk_bytes,
+                self.shard_bytes,
+                self.scheduler,
+                tuple(sorted(self.scheduler_options)),
+                self.config,
+            )
+        )
+
+    def device_jobs(self, sub_traces=None) -> Tuple[SimJob, ...]:
+        """Expand into one :class:`SimJob` per device, keyed ``key + (device,)``.
+
+        The base trace is built once, split by the layout, and each
+        sub-trace frozen into an inline workload spec; devices with an empty
+        sub-trace still get a job so results stay positional.  Batch callers
+        sweeping schedulers over one layout can pass the already-split
+        ``sub_traces`` to skip the rebuild (see
+        :func:`repro.experiments.array_scaling.run_array_specs`).
+        """
+        from repro.array.layout import split_trace
+
+        if sub_traces is None:
+            sub_traces = split_trace(self.workload.build(), self.layout())
+        return tuple(
+            SimJob(
+                workload=WorkloadSpec.inline(
+                    f"{self.workload.name}@dev{device}/{self.num_devices}", sub_trace
+                ),
+                scheduler=self.scheduler,
+                config=self.config,
+                scheduler_options=self.scheduler_options,
+                key=self.key + (device,),
+            )
+            for device, sub_trace in enumerate(sub_traces)
+        )
 
 
 @dataclass(frozen=True)

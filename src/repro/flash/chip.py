@@ -130,10 +130,14 @@ class FlashChip:
         During a busy interval the chip exposes ``dies_per_chip`` dies worth
         of potential cell activity; anything not covered by die-level cell
         operations is intra-chip idleness (paper Section 1 / Figure 11b).
+
+        A chip that never went busy has no die-time to leave unused and
+        returns the sentinel ``-1.0``, so averaging layers can tell "did no
+        work" apart from "busy with every die covered" (a genuine ``0.0``).
         """
         potential = self.stats.busy_time_ns * self.geometry.dies_per_chip
         if potential <= 0:
-            return 0.0
+            return -1.0
         used = min(self.stats.die_active_time_ns, potential)
         return 1.0 - used / potential
 

@@ -9,10 +9,20 @@
 * flash transaction counts / reduction rate (Figure 16).
 """
 
-from repro.metrics.latency import LatencyStats, bandwidth_kb_per_sec, iops, percentile
+from repro.metrics.latency import (
+    LatencyStats,
+    bandwidth_kb_per_sec,
+    iops,
+    merge_latency_stats,
+    percentile,
+)
 from repro.metrics.parallelism import FLPBreakdown
 from repro.metrics.breakdown import ExecutionBreakdown
-from repro.metrics.utilization import IdlenessReport, UtilizationReport
+from repro.metrics.utilization import (
+    IdlenessReport,
+    UtilizationReport,
+    merge_utilization_reports,
+)
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import SimulationResult, format_table
 
@@ -20,11 +30,13 @@ __all__ = [
     "LatencyStats",
     "bandwidth_kb_per_sec",
     "iops",
+    "merge_latency_stats",
     "percentile",
     "FLPBreakdown",
     "ExecutionBreakdown",
     "IdlenessReport",
     "UtilizationReport",
+    "merge_utilization_reports",
     "MetricsCollector",
     "SimulationResult",
     "format_table",

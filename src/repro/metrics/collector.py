@@ -118,11 +118,10 @@ class MetricsCollector:
     def idleness_report(self, chips: Dict[tuple, FlashChip]) -> IdlenessReport:
         """Inter-chip and intra-chip idleness over the makespan."""
         utilization = self.utilization_report(chips)
-        intra_values = [
-            chip.intra_chip_idleness()
-            for chip in chips.values()
-            if chip.stats.busy_time_ns > 0
-        ]
+        # Never-busy chips report the -1.0 sentinel, which the averaging in
+        # from_measurements excludes; busy chips contribute their genuine
+        # idleness, including an exact 0.0 for fully covered dies.
+        intra_values = [chip.intra_chip_idleness() for chip in chips.values()]
         return IdlenessReport.from_measurements(utilization, intra_values)
 
     def execution_breakdown(

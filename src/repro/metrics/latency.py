@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 NS_PER_S = 1_000_000_000
 
@@ -23,14 +24,23 @@ def iops(num_requests: int, elapsed_ns: int) -> float:
 
 
 def percentile(values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of ``values`` (``fraction`` in [0, 1])."""
+    """Nearest-rank percentile of ``values`` (``fraction`` in [0, 1]).
+
+    Uses the standard ceil-based nearest-rank definition: the percentile is
+    the value at (1-based) rank ``ceil(fraction * len(values))``, with
+    ``fraction == 0.0`` mapping to the smallest sample.  ``round`` is
+    deliberately avoided - its banker's rounding of ``.5`` ranks biased
+    even-length medians (``round(1.5) == 2`` but ``round(0.5) == 0``).
+    """
     if not values:
         return 0.0
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("fraction must be in [0, 1]")
     ordered = sorted(values)
-    index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
-    return ordered[index]
+    # The epsilon absorbs binary float error in the product (0.07 * 100 ==
+    # 7.000000000000001) so an exact-integer rank never ceils one too high.
+    rank = math.ceil(fraction * len(ordered) - 1e-9)  # 1-based nearest rank
+    return ordered[max(rank, 1) - 1]
 
 
 @dataclass
@@ -76,3 +86,16 @@ class LatencyStats:
         merged = LatencyStats()
         merged.samples_ns = list(self.samples_ns) + list(other.samples_ns)
         return merged
+
+
+def merge_latency_stats(parts: Iterable[LatencyStats]) -> LatencyStats:
+    """Merge per-device latency distributions into one array-level one.
+
+    Sample lists are concatenated, so the merged mean is exactly the
+    count-weighted mean of the parts and percentiles are computed over the
+    full array-wide population rather than averaged per device.
+    """
+    merged = LatencyStats()
+    for part in parts:
+        merged.samples_ns.extend(part.samples_ns)
+    return merged

@@ -42,7 +42,11 @@ class UtilizationReport:
         return active / len(self.per_chip)
 
     def imbalance(self) -> float:
-        """Max-to-mean utilisation ratio; 1.0 means perfectly balanced."""
+        """Max-to-mean utilisation ratio; 1.0 means perfectly balanced.
+
+        An empty report (or one where no chip did any work) returns the
+        sentinel ``0.0`` - "no imbalance measurable" - rather than 1.0.
+        """
         mean = self.mean
         if mean <= 0.0:
             return 0.0
@@ -65,7 +69,11 @@ class IdlenessReport:
         *Inter-chip idleness* is the complement of mean chip utilisation: the
         fraction of chip-time during which whole chips sat idle.  *Intra-chip
         idleness* averages, over chips that did work, the fraction of die-time
-        left unused while the chip was busy.
+        left unused while the chip was busy.  A chip that never went busy is
+        marked with a negative sentinel (see
+        :meth:`repro.flash.chip.FlashChip.intra_chip_idleness`) and is
+        excluded; a busy chip with every die covered contributes its genuine
+        ``0.0`` to the average.
         """
         inter = 1.0 - utilization.mean
         busy_values = [value for value in intra_chip_values if value >= 0.0]
@@ -76,3 +84,17 @@ class IdlenessReport:
     def combined(self) -> float:
         """A single idleness figure weighting both components equally."""
         return 0.5 * (self.inter_chip + self.intra_chip)
+
+
+def merge_utilization_reports(reports: List[UtilizationReport]) -> UtilizationReport:
+    """Array-level utilisation: the union of per-device chip reports.
+
+    Chip keys are namespaced with each report's position (device index), so
+    devices with identical geometry never collide and the merged ``mean`` is
+    the chip-count-weighted mean across the whole array.
+    """
+    merged = UtilizationReport()
+    for device_index, report in enumerate(reports):
+        for chip_key, value in report.per_chip.items():
+            merged.per_chip[(device_index,) + tuple(chip_key)] = value
+    return merged

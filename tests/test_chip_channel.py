@@ -65,9 +65,11 @@ class TestFlashChip:
         assert chip.stats.requests_served == 1
         assert chip.intra_chip_idleness() == pytest.approx(0.75)
 
-    def test_intra_idleness_zero_when_never_busy(self, small_geometry):
+    def test_intra_idleness_sentinel_when_never_busy(self, small_geometry):
+        # -1.0 distinguishes "did no work" from a busy chip whose dies were
+        # fully covered (a genuine 0.0); averaging layers exclude it.
         chip = FlashChip((0, 0), small_geometry)
-        assert chip.intra_chip_idleness() == 0.0
+        assert chip.intra_chip_idleness() == -1.0
 
     def test_gc_transaction_counter(self, small_geometry):
         chip = FlashChip((0, 0), small_geometry)

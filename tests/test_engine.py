@@ -182,6 +182,51 @@ class TestExecutionEngine:
         with pytest.raises(ValueError):
             ExecutionEngine("serial", cache_dir=not_a_dir)
 
+    def test_cache_dir_under_a_file_raises_value_error(self, tmp_path):
+        # Regression: mkdir(parents=True) below an existing plain file
+        # raises NotADirectoryError on POSIX, which escaped the old
+        # FileExistsError-only handler as a raw traceback.
+        blocking_file = tmp_path / "file"
+        blocking_file.write_text("x")
+        with pytest.raises(ValueError):
+            ExecutionEngine("serial", cache_dir=blocking_file / "nested" / "cache")
+
+    def test_duplicate_jobs_in_one_batch_execute_once(self):
+        spec = tiny_spec()
+        job = spec.jobs[0]
+        twin = SimJob(
+            workload=job.workload,
+            scheduler=job.scheduler,
+            config=job.config,
+            scheduler_options=job.scheduler_options,
+            key=("twin",),
+        )
+        engine = ExecutionEngine("serial")
+        results = engine.run_jobs([job, twin, job])
+        assert engine.stats.jobs_submitted == 3
+        assert engine.stats.jobs_executed == 1
+        assert len(results) == 3
+        assert pickle.dumps(results[0]) == pickle.dumps(results[1]) == pickle.dumps(results[2])
+        # Duplicates are independent objects (like cache-hit duplicates),
+        # so in-place post-processing of one cell cannot corrupt another.
+        assert results[0] is not results[1] and results[0] is not results[2]
+        results[0].latency.add(1)
+        assert results[1].latency.count == results[2].latency.count == results[0].latency.count - 1
+
+    def test_duplicate_jobs_store_one_cache_entry(self, tmp_path):
+        spec = tiny_spec()
+        job = spec.jobs[0]
+        engine = ExecutionEngine("process", max_workers=2, cache_dir=tmp_path)
+        engine.run_jobs([job, job])
+        assert engine.stats.jobs_executed == 1
+        assert engine.stats.cache_stores == 1
+        assert len(engine.cache) == 1
+        # A warm rerun of the duplicated batch is pure cache hits.
+        rerun = ExecutionEngine("serial", cache_dir=tmp_path)
+        rerun.run_jobs([job, job])
+        assert rerun.stats.jobs_executed == 0
+        assert rerun.stats.cache_hits == 2
+
     def test_cache_hit_skips_execution(self, tmp_path):
         spec = tiny_spec()
         first = ExecutionEngine("serial", cache_dir=tmp_path)

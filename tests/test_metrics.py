@@ -4,10 +4,20 @@ import pytest
 
 from repro.flash.commands import ParallelismClass
 from repro.metrics.breakdown import ExecutionBreakdown
-from repro.metrics.latency import LatencyStats, bandwidth_kb_per_sec, iops, percentile
+from repro.metrics.latency import (
+    LatencyStats,
+    bandwidth_kb_per_sec,
+    iops,
+    merge_latency_stats,
+    percentile,
+)
 from repro.metrics.parallelism import FLPBreakdown
 from repro.metrics.report import format_table
-from repro.metrics.utilization import IdlenessReport, UtilizationReport
+from repro.metrics.utilization import (
+    IdlenessReport,
+    UtilizationReport,
+    merge_utilization_reports,
+)
 
 
 class TestLatencyHelpers:
@@ -32,6 +42,53 @@ class TestLatencyHelpers:
     def test_percentile_bad_fraction(self):
         with pytest.raises(ValueError):
             percentile([1], 2.0)
+
+    def test_percentile_nearest_rank_even_length(self):
+        # Regression: int(round(...)) used banker's rounding, so the p50 of
+        # an even-length sample was biased upward (round(1.5) == 2).  The
+        # ceil-based nearest rank of [1, 2, 3, 4] at p50 is rank 2 -> 2.
+        values = [1, 2, 3, 4]
+        assert percentile(values, 0.50) == 2
+        assert percentile(values, 0.90) == 4
+        assert percentile(values, 0.99) == 4
+        evens = list(range(1, 101))
+        assert percentile(evens, 0.50) == 50
+        assert percentile(evens, 0.90) == 90
+        assert percentile(evens, 0.99) == 99
+
+    def test_percentile_nearest_rank_odd_length(self):
+        values = [10, 20, 30, 40, 50]
+        assert percentile(values, 0.50) == 30
+        assert percentile(values, 0.90) == 50
+        assert percentile(values, 0.99) == 50
+        odds = list(range(1, 102))
+        assert percentile(odds, 0.50) == 51
+        assert percentile(odds, 0.90) == 91
+        assert percentile(odds, 0.99) == 100
+
+    def test_percentile_order_independent(self):
+        assert percentile([4, 1, 3, 2], 0.5) == percentile([1, 2, 3, 4], 0.5)
+
+    def test_percentile_inexact_float_rank(self):
+        # 0.07 * 100 == 7.000000000000001 in binary; the rank must still be
+        # 7, not ceil'd one too high to 8.
+        assert percentile(list(range(1, 101)), 0.07) == 7
+
+    def test_merge_latency_stats_is_count_weighted(self):
+        few, many = LatencyStats(), LatencyStats()
+        few.add(1000)
+        for value in (100, 200, 300):
+            many.add(value)
+        merged = merge_latency_stats([few, many])
+        assert merged.count == 4
+        # Pooled mean, not the mean of the two means (which would be 600).
+        assert merged.mean_ns == pytest.approx((1000 + 100 + 200 + 300) / 4)
+        assert merged.percentile_ns(1.0) == 1000
+        assert merge_latency_stats([]).count == 0
+        # Merging must not alias or mutate the inputs.
+        assert few.count == 1 and many.count == 3
+        merged.add(5)
+        assert few.count == 1 and many.count == 3
 
     def test_latency_stats(self):
         stats = LatencyStats()
@@ -176,6 +233,53 @@ class TestUtilizationReports:
     def test_idleness_without_busy_chips(self):
         idleness = IdlenessReport.from_measurements(UtilizationReport(), [])
         assert idleness.intra_chip == 0.0
+
+    def test_idleness_excludes_chips_that_did_no_work(self):
+        # Regression: a chip that never went busy used to report 0.0 and be
+        # kept by the filter, deflating the documented "average over chips
+        # that did work"; it now reports the -1.0 sentinel and is excluded,
+        # while a busy chip with fully covered dies contributes its real 0.0.
+        report = UtilizationReport()
+        report.add((0, 0), 0.5)
+        report.add((0, 1), 0.5)
+        report.add((0, 2), 0.0)
+        idleness = IdlenessReport.from_measurements(report, [0.4, 0.2, -1.0])
+        assert idleness.intra_chip == pytest.approx(0.3)
+        perfect_busy = IdlenessReport.from_measurements(report, [0.4, 0.0, -1.0])
+        assert perfect_busy.intra_chip == pytest.approx(0.2)
+
+    def test_empty_imbalance_sentinel(self):
+        # The docstring's "1.0 means perfectly balanced" only applies once
+        # work exists; an empty (or all-idle) report returns the 0.0
+        # "nothing measurable" sentinel, not 1.0.
+        assert UtilizationReport().imbalance() == 0.0
+        all_idle = UtilizationReport()
+        all_idle.add((0, 0), 0.0)
+        all_idle.add((0, 1), 0.0)
+        assert all_idle.imbalance() == 0.0
+
+    def test_add_clamps_and_overwrites(self):
+        report = UtilizationReport()
+        report.add((0, 0), 2.5)
+        assert report.per_chip[(0, 0)] == 1.0
+        report.add((0, 0), -1.0)
+        assert report.per_chip[(0, 0)] == 0.0
+        assert len(report.per_chip) == 1
+
+    def test_merge_utilization_reports_namespaces_devices(self):
+        first, second = UtilizationReport(), UtilizationReport()
+        first.add((0, 0), 0.2)
+        second.add((0, 0), 0.8)
+        second.add((0, 1), 0.4)
+        merged = merge_utilization_reports([first, second])
+        assert len(merged.per_chip) == 3
+        assert merged.per_chip[(0, 0, 0)] == 0.2
+        assert merged.per_chip[(1, 0, 0)] == 0.8
+        # Chip-count weighted: (0.2 + 0.8 + 0.4) / 3, not mean of means.
+        assert merged.mean == pytest.approx(1.4 / 3)
+        assert merge_utilization_reports([]).mean == 0.0
+        # Inputs must stay untouched.
+        assert len(first.per_chip) == 1 and len(second.per_chip) == 2
 
 
 class TestFormatTable:
