@@ -1,0 +1,27 @@
+"""Benchmark: scenario matrix - scenario x scheduler x device topology."""
+
+from repro.experiments import scenario_matrix
+from repro.scenarios.library import default_scenarios
+
+
+def test_bench_scenario_matrix(benchmark, run_once):
+    scenarios = default_scenarios(scale=0.5, seed=7)
+    rows = run_once(
+        scenario_matrix.run_scenario_matrix,
+        scenarios,
+        schedulers=("VAS", "SPK3"),
+        device_counts=(1, 2),
+        chips_per_device=16,
+    )
+    by_cell = {
+        (row["scenario"], row["devices"], row["scheduler"]): row["bandwidth_mb_s"]
+        for row in rows
+    }
+    # Expected shape: Sprinkler's advantage survives bursty multi-tenant
+    # traffic on a single device, and striping adds aggregate bandwidth.
+    assert by_cell[("bursty", 1, "SPK3")] > by_cell[("bursty", 1, "VAS")]
+    assert by_cell[("steady", 2, "SPK3")] > by_cell[("steady", 1, "SPK3")]
+    benchmark.extra_info["ranking"] = {
+        f"{scenario}/x{devices}": " > ".join(order)
+        for (scenario, devices), order in scenario_matrix.scheduler_ranking(rows).items()
+    }

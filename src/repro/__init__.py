@@ -9,6 +9,8 @@ The package provides:
 * the paper's schedulers - VAS, PAS and the Sprinkler variants SPK1/2/3 -
   in :mod:`repro.core`,
 * workload generators and trace tooling in :mod:`repro.workloads`,
+* the scenario engine - arrival processes, trace transforms, multi-tenant
+  phases and workload characterization - in :mod:`repro.scenarios`,
 * the metrics the paper reports in :mod:`repro.metrics`,
 * one experiment module per paper table/figure in :mod:`repro.experiments`.
 
@@ -44,6 +46,9 @@ _LAZY_EXPORTS = {
     "ExperimentSpec": "repro.experiments.spec",
     "SimJob": "repro.experiments.spec",
     "WorkloadSpec": "repro.experiments.spec",
+    "Phase": "repro.scenarios",
+    "Scenario": "repro.scenarios",
+    "Tenant": "repro.scenarios",
 }
 
 
@@ -60,7 +65,10 @@ __all__ = [
     "make_scheduler",
     "ExecutionEngine",
     "ExperimentSpec",
+    "Phase",
+    "Scenario",
     "SimJob",
+    "Tenant",
     "WorkloadSpec",
     "FlashTiming",
     "SSDGeometry",

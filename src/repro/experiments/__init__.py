@@ -29,6 +29,7 @@ from repro.experiments.runner import (
 from repro.experiments.spec import ArraySpec, ExperimentSpec, SimJob, WorkloadSpec
 from repro.experiments import (
     array_scaling,
+    scenario_matrix,
     figure01,
     figure06,
     figure10,
@@ -60,6 +61,7 @@ __all__ = [
     "run_scheduler_matrix",
     "run_single",
     "array_scaling",
+    "scenario_matrix",
     "figure01",
     "figure06",
     "figure10",

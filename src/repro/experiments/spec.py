@@ -30,16 +30,11 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.metrics.report import SimulationResult
+from repro.scenarios.scenario import SCENARIO_VERSION, Scenario
 from repro.sim.config import SimulationConfig, stable_fingerprint
 from repro.sim.ssd import SSDSimulator
-from repro.workloads.datacenter import generate_datacenter_trace
-from repro.workloads.request import IOKind, IORequest
-from repro.workloads.synthetic import (
-    SyntheticWorkloadConfig,
-    generate_mixed_workload,
-    generate_random_workload,
-    generate_sequential_workload,
-)
+from repro.workloads.build import build_generator, freeze_requests
+from repro.workloads.request import IORequest
 
 #: Bump when the semantics of job execution change in a way that invalidates
 #: previously cached results.
@@ -98,6 +93,24 @@ class WorkloadSpec:
         return cls("sequential", name, _as_items(params))
 
     @classmethod
+    def scenario(cls, scenario: Scenario) -> "WorkloadSpec":
+        """A composed :class:`~repro.scenarios.scenario.Scenario` as a workload.
+
+        The scenario object itself (a frozen dataclass of primitives) is the
+        spec's parameter, so the fingerprint covers every phase, tenant,
+        arrival-process knob and transform - any change to the scenario
+        recipe invalidates exactly the affected cache entries.  The scenario
+        engine's version rides along as a param so bumping
+        ``SCENARIO_VERSION`` (a semantics change in scenario *building*)
+        also invalidates the engine's cached results.
+        """
+        return cls(
+            "scenario",
+            scenario.name,
+            (("scenario", scenario), ("scenario_version", SCENARIO_VERSION)),
+        )
+
+    @classmethod
     def inline(cls, name: str, requests: Sequence[IORequest]) -> "WorkloadSpec":
         """Freeze an already-materialised request list into a spec.
 
@@ -105,41 +118,16 @@ class WorkloadSpec:
         requests are stored as plain value tuples, so the spec stays hashable
         and rebuilds (with fresh ids) identically in any process.
         """
-        frozen = tuple(
-            (io.kind.value, io.offset_bytes, io.size_bytes, io.arrival_ns, io.force_unit_access)
-            for io in requests
-        )
-        return cls("inline", name, (("requests", frozen),))
+        return cls("inline", name, (("requests", freeze_requests(requests)),))
 
     # -- materialisation -------------------------------------------------
     def build(self) -> List[IORequest]:
         """Regenerate the workload from scratch (fresh, deterministic ids)."""
         params = dict(self.params)
-        if self.generator == "datacenter":
-            requests = generate_datacenter_trace(params.pop("name"), **params)
-        elif self.generator == "random":
-            requests = generate_random_workload(
-                params.pop("num_requests"), params.pop("size_bytes"), **params
-            )
-        elif self.generator == "mixed":
-            requests = generate_mixed_workload(SyntheticWorkloadConfig(**params))
-        elif self.generator == "sequential":
-            requests = generate_sequential_workload(
-                params.pop("num_requests"), params.pop("size_bytes"), **params
-            )
-        elif self.generator == "inline":
-            requests = [
-                IORequest(
-                    kind=IOKind(kind),
-                    offset_bytes=offset,
-                    size_bytes=size,
-                    arrival_ns=arrival,
-                    force_unit_access=fua,
-                )
-                for kind, offset, size, arrival, fua in params["requests"]
-            ]
+        if self.generator == "scenario":
+            requests = params["scenario"].build()
         else:
-            raise ValueError(f"unknown workload generator {self.generator!r}")
+            requests = build_generator(self.generator, params)
         # Renumber in place so the ids a job sees are independent of which
         # process (and how many prior jobs) generated the trace - this is
         # what makes serial and parallel runs bit-identical.

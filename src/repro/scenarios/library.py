@@ -1,0 +1,140 @@
+"""Canned scenarios: the default grid of the scenario-matrix experiment.
+
+Three scheduler-stress archetypes the single-phase generators could not
+express, each small enough to simulate in seconds yet shaped like the
+pathologies the paper's data-center traces exhibit:
+
+* ``steady``  - one phase of memoryless Poisson traffic from a single
+  tenant; the control scenario closest to the legacy fixed-gap workloads.
+* ``bursty``  - a Poisson warm-up phase followed by an MMPP burst phase in
+  which two tenants (a random reader and a sequential writer), confined to
+  disjoint address slices, are interleaved; stresses queue admission and
+  FARO's ability to harvest parallelism inside bursts.
+* ``diurnal`` - a data-center tenant and a random tenant riding a
+  compressed sinusoidal rate curve; alternates overload and near-idle.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.scenarios.arrivals import BurstyArrivals, DiurnalArrivals, PoissonArrivals
+from repro.scenarios.scenario import Phase, Scenario, Tenant
+
+KB = 1024
+MB = 1024 * KB
+
+
+def steady_scenario(*, requests_per_phase: int = 96, seed: int = 11) -> Scenario:
+    """Single-tenant Poisson traffic (the control scenario)."""
+    return Scenario(
+        name="steady",
+        seed=seed,
+        phases=(
+            Phase(
+                name="steady",
+                tenants=(
+                    Tenant.random(
+                        "uniform",
+                        num_requests=requests_per_phase,
+                        size_bytes=32 * KB,
+                        address_space_bytes=128 * MB,
+                        seed=seed,
+                    ),
+                ),
+                arrivals=PoissonArrivals(mean_interarrival_ns=3_000),
+            ),
+        ),
+    )
+
+
+def bursty_multitenant_scenario(
+    *, requests_per_tenant: int = 48, seed: int = 11
+) -> Scenario:
+    """Warm-up then an MMPP burst of two interleaved, range-isolated tenants."""
+    reader = Tenant.random(
+        "reader",
+        num_requests=requests_per_tenant,
+        size_bytes=16 * KB,
+        address_space_bytes=256 * MB,
+        seed=seed,
+        address_base_bytes=0,
+        address_span_bytes=64 * MB,
+    )
+    writer = Tenant.sequential(
+        "writer",
+        num_requests=requests_per_tenant,
+        size_bytes=128 * KB,
+        read_fraction=0.0,
+        seed=seed + 1,
+        address_base_bytes=64 * MB,
+        address_span_bytes=64 * MB,
+    )
+    return Scenario(
+        name="bursty",
+        seed=seed,
+        phases=(
+            Phase(
+                name="warmup",
+                tenants=(reader,),
+                arrivals=PoissonArrivals(mean_interarrival_ns=4_000),
+            ),
+            Phase(
+                name="burst",
+                tenants=(reader, writer),
+                arrivals=BurstyArrivals(
+                    burst_interarrival_ns=400.0,
+                    idle_interarrival_ns=30_000.0,
+                    mean_burst_length=12.0,
+                    mean_idle_length=2.0,
+                ),
+            ),
+        ),
+    )
+
+
+def diurnal_scenario(*, requests_per_tenant: int = 64, seed: int = 11) -> Scenario:
+    """Data-center plus random tenants on a compressed day/night rate curve."""
+    return Scenario(
+        name="diurnal",
+        seed=seed,
+        phases=(
+            Phase(
+                name="cycle",
+                tenants=(
+                    Tenant.datacenter(
+                        "cfs0",
+                        num_requests=requests_per_tenant,
+                        seed=seed,
+                        address_base_bytes=0,
+                        address_span_bytes=128 * MB,
+                    ),
+                    Tenant.random(
+                        "background",
+                        num_requests=requests_per_tenant,
+                        size_bytes=8 * KB,
+                        address_space_bytes=256 * MB,
+                        seed=seed + 2,
+                        address_base_bytes=128 * MB,
+                        address_span_bytes=64 * MB,
+                    ),
+                ),
+                arrivals=DiurnalArrivals(
+                    base_interarrival_ns=2_500.0,
+                    amplitude=0.85,
+                    period_ns=120_000.0,
+                ),
+            ),
+        ),
+    )
+
+
+def default_scenarios(*, scale: float = 1.0, seed: int = 11) -> Tuple[Scenario, ...]:
+    """The standard scenario set, optionally scaled in request count."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return (
+        steady_scenario(requests_per_phase=max(8, int(96 * scale)), seed=seed),
+        bursty_multitenant_scenario(requests_per_tenant=max(8, int(48 * scale)), seed=seed),
+        diurnal_scenario(requests_per_tenant=max(8, int(64 * scale)), seed=seed),
+    )

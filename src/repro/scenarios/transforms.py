@@ -1,0 +1,113 @@
+"""Composable trace transforms.
+
+Pure functions over ``List[IORequest]``: every transform returns *new*
+request objects (fresh ``io_id``s, inputs untouched), so transforms chain
+freely and never alias the stream they were fed.  They are the building
+blocks :class:`~repro.scenarios.scenario.Scenario` composes - multi-tenant
+interleaving, time dilation, window clipping and per-tenant address
+remapping - and are equally usable standalone on any request list (e.g. a
+replayed MSR trace from :mod:`repro.workloads.traces`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.workloads.request import IORequest
+from repro.workloads.traces import wrap_clamp
+
+
+def copy_request(io: IORequest, **overrides) -> IORequest:
+    """Value-copy one request (fresh ``io_id``), optionally overriding fields."""
+    fields = {
+        "kind": io.kind,
+        "offset_bytes": io.offset_bytes,
+        "size_bytes": io.size_bytes,
+        "arrival_ns": io.arrival_ns,
+        "force_unit_access": io.force_unit_access,
+    }
+    fields.update(overrides)
+    return IORequest(**fields)
+
+
+def merge_streams(streams: Sequence[Sequence[IORequest]]) -> List[IORequest]:
+    """Interleave N tenant streams into one multi-tenant trace.
+
+    Requests are ordered by ``(arrival_ns, stream index, position within the
+    stream)`` - the explicit tie-break keeps simultaneous arrivals from
+    different tenants in a deterministic order in every process, which is
+    what lets merged scenarios flow through the result cache bit-identically.
+    """
+    tagged = [
+        (io.arrival_ns, stream_index, position, io)
+        for stream_index, stream in enumerate(streams)
+        for position, io in enumerate(stream)
+    ]
+    tagged.sort(key=lambda entry: entry[:3])
+    return [copy_request(io) for _, _, _, io in tagged]
+
+
+def time_dilate(requests: Sequence[IORequest], factor: float) -> List[IORequest]:
+    """Stretch (``factor > 1``) or compress (``factor < 1``) arrival times.
+
+    The map is monotone, so request order is preserved; offsets, sizes and
+    kinds are untouched.  Compressing a long trace raises its offered load
+    without changing *what* is accessed - the standard replay-acceleration
+    knob of trace-driven SSD studies.
+    """
+    if factor <= 0:
+        raise ValueError("dilation factor must be positive")
+    return [
+        copy_request(io, arrival_ns=int(io.arrival_ns * factor)) for io in requests
+    ]
+
+
+def clip_window(
+    requests: Sequence[IORequest],
+    *,
+    end_ns: int,
+    start_ns: int = 0,
+    rebase: bool = True,
+) -> List[IORequest]:
+    """Keep only requests arriving in ``[start_ns, end_ns)``.
+
+    With ``rebase`` (the default) the window is shifted so its first
+    admissible instant is t=0, making clipped windows composable as phases.
+    """
+    if end_ns <= start_ns:
+        raise ValueError("clip window must satisfy end_ns > start_ns")
+    if start_ns < 0:
+        raise ValueError("start_ns must be non-negative")
+    shift = start_ns if rebase else 0
+    return [
+        copy_request(io, arrival_ns=io.arrival_ns - shift)
+        for io in requests
+        if start_ns <= io.arrival_ns < end_ns
+    ]
+
+
+def remap_offsets(
+    requests: Sequence[IORequest],
+    *,
+    base_bytes: int,
+    span_bytes: int,
+    align_bytes: Optional[int] = None,
+) -> List[IORequest]:
+    """Relocate a stream into the address slice ``[base, base + span)``.
+
+    Each offset is wrapped modulo ``span_bytes`` and rebased to
+    ``base_bytes``; a request poking past the end of the slice is clamped to
+    the remaining aligned bytes (never below one ``align_bytes`` unit).
+    Giving every tenant a disjoint slice turns independently generated
+    streams into a multi-tenant workload without cross-tenant overwrites.
+    """
+    align = align_bytes if align_bytes is not None else 1
+    if base_bytes < 0:
+        raise ValueError("base_bytes must be non-negative")
+    remapped: List[IORequest] = []
+    for io in requests:
+        local, size = wrap_clamp(io.offset_bytes, io.size_bytes, span_bytes, align)
+        remapped.append(
+            copy_request(io, offset_bytes=base_bytes + local, size_bytes=size)
+        )
+    return remapped

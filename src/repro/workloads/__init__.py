@@ -23,7 +23,13 @@ from repro.workloads.datacenter import (
     generate_datacenter_trace,
     trace_table_row,
 )
-from repro.workloads.traces import TraceRecord, load_msr_trace, records_to_requests
+from repro.workloads.traces import (
+    TraceFormatError,
+    TraceRecord,
+    load_msr_trace,
+    parse_msr_line,
+    records_to_requests,
+)
 
 __all__ = [
     "IORequest",
@@ -38,7 +44,9 @@ __all__ = [
     "datacenter_profile",
     "generate_datacenter_trace",
     "trace_table_row",
+    "TraceFormatError",
     "TraceRecord",
     "load_msr_trace",
+    "parse_msr_line",
     "records_to_requests",
 ]

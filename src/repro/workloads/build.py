@@ -1,0 +1,74 @@
+"""Shared workload-generator dispatch.
+
+Both :class:`repro.experiments.spec.WorkloadSpec` and
+:class:`repro.scenarios.scenario.Tenant` describe workloads as a
+``(generator name, frozen params)`` pair; this module is the single place
+that maps those names onto the generator functions, so the two spec layers
+cannot drift apart.  It also owns the value-freezing of request lists
+(:func:`freeze_requests`/:func:`thaw_requests`) used by both ``inline``
+spec kinds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.workloads.datacenter import generate_datacenter_trace
+from repro.workloads.request import IOKind, IORequest
+from repro.workloads.synthetic import (
+    SyntheticWorkloadConfig,
+    generate_mixed_workload,
+    generate_random_workload,
+    generate_sequential_workload,
+)
+
+#: One frozen request: (kind value, offset, size, arrival, force_unit_access).
+FrozenRequest = Tuple[str, int, int, int, bool]
+
+
+def freeze_requests(requests: Sequence[IORequest]) -> Tuple[FrozenRequest, ...]:
+    """Reduce requests to hashable value tuples (for inline specs)."""
+    return tuple(
+        (io.kind.value, io.offset_bytes, io.size_bytes, io.arrival_ns, io.force_unit_access)
+        for io in requests
+    )
+
+
+def thaw_requests(frozen: Sequence[FrozenRequest]) -> List[IORequest]:
+    """Rebuild fresh request objects from :func:`freeze_requests` tuples."""
+    return [
+        IORequest(
+            kind=IOKind(kind),
+            offset_bytes=offset,
+            size_bytes=size,
+            arrival_ns=arrival,
+            force_unit_access=fua,
+        )
+        for kind, offset, size, arrival, fua in frozen
+    ]
+
+
+def build_generator(generator: str, params: Dict[str, Any]) -> List[IORequest]:
+    """Run the named generator with its (already thawed) keyword params.
+
+    Handles the kinds shared by every spec layer: ``random``,
+    ``sequential``, ``mixed``, ``datacenter`` and ``inline``.  Layer-specific
+    kinds (``scenario`` on :class:`WorkloadSpec`, ``msr`` on
+    :class:`Tenant`) stay with their layer.  ``params`` is consumed
+    destructively; pass a copy.
+    """
+    if generator == "random":
+        return generate_random_workload(
+            params.pop("num_requests"), params.pop("size_bytes"), **params
+        )
+    if generator == "sequential":
+        return generate_sequential_workload(
+            params.pop("num_requests"), params.pop("size_bytes"), **params
+        )
+    if generator == "mixed":
+        return generate_mixed_workload(SyntheticWorkloadConfig(**params))
+    if generator == "datacenter":
+        return generate_datacenter_trace(params.pop("name"), **params)
+    if generator == "inline":
+        return thaw_requests(params["requests"])
+    raise ValueError(f"unknown workload generator {generator!r}")

@@ -53,6 +53,8 @@ class SyntheticWorkloadConfig:
             raise ValueError("randomness must be in [0, 1]")
         if self.align_bytes <= 0:
             raise ValueError("align_bytes must be positive")
+        if self.interarrival_ns < 0:
+            raise ValueError("interarrival_ns must be non-negative")
         if self.address_space_bytes < self.size_bytes:
             raise ValueError("address space must be at least one request large")
 
@@ -120,6 +122,16 @@ def generate_sequential_workload(
     seed: int = 42,
 ) -> List[IORequest]:
     """Back-to-back sequential workload used for the bandwidth sweeps."""
+    # This generator bypasses SyntheticWorkloadConfig, so repeat the checks
+    # that would otherwise fire at declaration time.
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if size_bytes <= 0:
+        raise ValueError("size_bytes must be positive")
+    if interarrival_ns < 0:
+        raise ValueError("interarrival_ns must be non-negative")
+    if start_offset_bytes < 0:
+        raise ValueError("start_offset_bytes must be non-negative")
     rng = random.Random(seed)
     requests: List[IORequest] = []
     offset = start_offset_bytes

@@ -48,11 +48,13 @@ class TraceFormatError(ValueError):
 
 def _parse_int(field: str) -> int:
     """Parse an integer field, tolerating a decimal point without losing
-    precision on the 18+ digit Windows filetime timestamps."""
+    precision on the 18+ digit Windows filetime timestamps (a float
+    round-trip would corrupt them: 53 mantissa bits cover only 16 digits)."""
     try:
         return int(field)
     except ValueError:
-        return int(float(field))
+        whole, _, _fraction = field.partition(".")
+        return int(whole)
 
 
 def parse_msr_line(line: Union[str, List[str]]) -> TraceRecord:
@@ -122,32 +124,60 @@ def load_msr_trace(
     return records
 
 
+def wrap_clamp(offset: int, size: int, space_bytes: int, align_bytes: int) -> tuple:
+    """Wrap ``offset`` into ``[0, space_bytes)`` and clamp ``size`` to fit.
+
+    The wrapped offset is aligned down to an ``align_bytes`` boundary and the
+    clamped size is a whole number of alignment units (never less than one),
+    so block-trace replay and address-slice remapping can never manufacture
+    sub-sector requests.  ``space_bytes`` must be a multiple of
+    ``align_bytes``; returns the ``(offset, size)`` pair.
+    """
+    if align_bytes <= 0:
+        raise ValueError("align_bytes must be positive")
+    if space_bytes < align_bytes or space_bytes % align_bytes != 0:
+        raise ValueError("address space must be a positive multiple of align_bytes")
+    offset = offset % space_bytes // align_bytes * align_bytes
+    if offset + size > space_bytes:
+        remaining = space_bytes - offset
+        size = max(align_bytes, remaining // align_bytes * align_bytes)
+    return offset, size
+
+
 def records_to_requests(
     records: Iterable[TraceRecord],
     *,
     address_space_bytes: Optional[int] = None,
     rebase_time: bool = True,
     time_scale: float = 1.0,
+    align_bytes: int = 512,
 ) -> List[IORequest]:
     """Convert parsed trace records into simulator I/O requests.
 
     ``address_space_bytes`` (when given) wraps offsets into the simulated
-    SSD's capacity; ``rebase_time`` shifts arrival times so the first request
-    arrives at t=0; ``time_scale`` compresses or stretches inter-arrival
-    gaps (useful for accelerating replay of long traces).
+    SSD's capacity; a request poking past the end of the space is clamped to
+    the remaining bytes in whole ``align_bytes`` units (block traces are
+    sector-aligned; clamping must not manufacture sub-sector requests), so
+    ``address_space_bytes`` must be a multiple of ``align_bytes``.
+    ``rebase_time`` shifts arrival times so the first request arrives at
+    t=0; ``time_scale`` compresses or stretches inter-arrival gaps (useful
+    for accelerating replay of long traces).  Records sharing a (possibly
+    scale-collapsed) arrival instant keep their trace-file order - the sort
+    key is ``(arrival_ns, original record index)``, so replay is fully
+    deterministic.
     """
     records = list(records)
     if not records:
         return []
+    if align_bytes <= 0:
+        raise ValueError("align_bytes must be positive")
     base = records[0].timestamp_ns if rebase_time else 0
     requests: List[IORequest] = []
     for record in records:
         offset = record.offset_bytes
         size = record.size_bytes
         if address_space_bytes is not None:
-            offset = offset % address_space_bytes
-            if offset + size > address_space_bytes:
-                size = max(1, address_space_bytes - offset)
+            offset, size = wrap_clamp(offset, size, address_space_bytes, align_bytes)
         arrival = max(0, int((record.timestamp_ns - base) * time_scale))
         requests.append(
             IORequest(
@@ -157,5 +187,7 @@ def records_to_requests(
                 arrival_ns=arrival,
             )
         )
+    # Stable sort + append-in-record-order == (arrival_ns, record index):
+    # equal arrivals (e.g. a scale-collapsed replay) keep the file order.
     requests.sort(key=lambda req: req.arrival_ns)
     return requests

@@ -164,6 +164,31 @@ class TestSweepFigures:
         reductions = figure16.reduction_vs_vas(rows)
         assert reductions[(16, 64, "SPK3")] > 0.0
 
+    def test_scenario_matrix_shapes_and_ranking(self):
+        from repro.experiments import scenario_matrix
+        from repro.scenarios.library import default_scenarios
+
+        scenarios = default_scenarios(scale=0.2, seed=3)
+        rows = scenario_matrix.run_scenario_matrix(
+            scenarios,
+            schedulers=("VAS", "SPK3"),
+            device_counts=(1, 2),
+            chips_per_device=16,
+        )
+        assert len(rows) == len(scenarios) * 2 * 2
+        by_cell = {
+            (row["scenario"], row["devices"], row["scheduler"]): row["bandwidth_mb_s"]
+            for row in rows
+        }
+        # The paper's headline holds on every scenario at one device ...
+        for scenario in scenarios:
+            assert by_cell[(scenario.name, 1, "SPK3")] > by_cell[(scenario.name, 1, "VAS")]
+        ranking = scenario_matrix.scheduler_ranking(rows)
+        assert ranking[("steady", 1)][0] == "SPK3"
+        # ... and the characterization table carries per-phase + overall rows.
+        char_rows = scenario_matrix.characterization_rows(scenarios)
+        assert sum(1 for row in char_rows if row["phase"] == "(overall)") == len(scenarios)
+
     def test_figure17_gc_hurts_and_spk3_stays_ahead(self):
         rows = figure17.run_figure17(
             chip_counts=(16,),

@@ -86,6 +86,8 @@ class TestSyntheticGenerators:
             dict(read_fraction=2.0),
             dict(randomness=-0.1),
             dict(address_space_bytes=1),
+            dict(interarrival_ns=-1),
+            dict(align_bytes=0),
         ],
     )
     def test_config_validation(self, overrides):
@@ -93,6 +95,23 @@ class TestSyntheticGenerators:
         values.update(overrides)
         with pytest.raises(ValueError):
             SyntheticWorkloadConfig(**values)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(num_requests=0),
+            dict(size_bytes=-4096),
+            dict(interarrival_ns=-1),
+            dict(start_offset_bytes=-1),
+        ],
+    )
+    def test_sequential_generator_validation(self, overrides):
+        values = dict(num_requests=4, size_bytes=4 * KB)
+        values.update(overrides)
+        num_requests = values.pop("num_requests")
+        size_bytes = values.pop("size_bytes")
+        with pytest.raises(ValueError):
+            generate_sequential_workload(num_requests, size_bytes, **values)
 
 
 class TestDatacenterTraces:
@@ -225,3 +244,85 @@ class TestMsrTraces:
 
     def test_records_to_requests_empty(self):
         assert records_to_requests([]) == []
+
+    def test_fixture_round_trip(self, tmp_path):
+        """Load a fixture CSV and convert it end-to-end.
+
+        Covers the filetime conversion (100ns ticks -> ns), malformed-line
+        skipping, blank lines, the disk filter and the record->request
+        round-trip in one pass.
+        """
+        path = tmp_path / "fixture.csv"
+        path.write_text(
+            "\n".join(
+                [
+                    "128166372003061629,srv,0,Read,8192,4096,1331",
+                    "",
+                    "totally,not,a,trace,line",
+                    "128166372003071629,srv,1,Write,0,512,10",
+                    "128166372003081629.0,srv,0,Write,16384,8192,20",
+                ]
+            )
+        )
+        records = load_msr_trace(path)
+        assert len(records) == 3
+        assert records[0].timestamp_ns == 128166372003061629 * 100
+        assert records[2].timestamp_ns == 128166372003081629 * 100
+
+        disk0 = load_msr_trace(path, disk_number=0)
+        assert [record.offset_bytes for record in disk0] == [8192, 16384]
+
+        requests = records_to_requests(disk0)
+        assert requests[0].arrival_ns == 0
+        # 20_000 ticks between the two disk-0 records = 2_000_000 ns.
+        assert requests[1].arrival_ns == 2_000_000
+        assert [(io.kind, io.offset_bytes, io.size_bytes) for io in requests] == [
+            (IOKind.READ, 8192, 4096),
+            (IOKind.WRITE, 16384, 8192),
+        ]
+
+    def test_wrap_clamp_respects_alignment(self):
+        # Offset wraps to 4 KB below the end of a 64 KB space; the 16 KB
+        # request must be clamped to the remaining 4 KB, not to 1 byte.
+        records = [parse_msr_line("1000,h,0,Read,126976,16384,1")]
+        requests = records_to_requests(records, address_space_bytes=65536)
+        io = requests[0]
+        assert io.offset_bytes == 61440
+        assert io.size_bytes == 4096
+        assert io.size_bytes % 512 == 0
+        assert io.end_offset_bytes <= 65536
+
+    def test_wrap_clamp_never_emits_sub_align_requests(self):
+        # Even when the wrapped offset sits at the last aligned slot, the
+        # clamped size stays a whole alignment unit.
+        records = [parse_msr_line("1000,h,0,Write,65024,4096,1")]
+        requests = records_to_requests(records, address_space_bytes=65536)
+        assert requests[0].size_bytes == 512
+        assert requests[0].offset_bytes + requests[0].size_bytes == 65536
+
+    def test_wrap_aligns_offsets(self):
+        # A misaligned trace offset is aligned down when wrapping.
+        records = [parse_msr_line("1000,h,0,Read,66100,512,1")]
+        requests = records_to_requests(
+            records, address_space_bytes=65536, align_bytes=512
+        )
+        assert requests[0].offset_bytes == 512
+        assert requests[0].offset_bytes % 512 == 0
+
+    def test_equal_arrivals_keep_record_order(self):
+        # time_scale=0 collapses every arrival to 0: the sort tie-break must
+        # preserve the original record order, not reshuffle it.
+        records = [
+            parse_msr_line(f"{1000 + tick},h,0,Read,{tick * 4096},4096,1")
+            for tick in range(8)
+        ]
+        requests = records_to_requests(records, time_scale=0.0)
+        assert all(io.arrival_ns == 0 for io in requests)
+        assert [io.offset_bytes for io in requests] == [tick * 4096 for tick in range(8)]
+
+    def test_records_to_requests_validation(self):
+        records = [parse_msr_line("1000,h,0,Read,0,4096,1")]
+        with pytest.raises(ValueError):
+            records_to_requests(records, align_bytes=0)
+        with pytest.raises(ValueError):
+            records_to_requests(records, address_space_bytes=1000, align_bytes=512)
