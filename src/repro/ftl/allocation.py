@@ -82,6 +82,24 @@ class PageAllocator:
         """The striping sequence of plane keys used by this allocator."""
         return tuple(self._plane_sequence)
 
+    @property
+    def cursor(self) -> int:
+        """Index into :attr:`plane_sequence` of the next round-robin target."""
+        return self._cursor
+
+    @cursor.setter
+    def cursor(self, value: int) -> None:
+        """Reposition the round-robin cursor (fast-forward aging support).
+
+        Setting the cursor to ``n % len(plane_sequence)`` leaves the
+        allocator exactly where ``n`` fresh-device allocations would have,
+        so bulk-programmed state stays bit-identical to a write-by-write
+        replay.
+        """
+        if not 0 <= value < len(self._plane_sequence):
+            raise ValueError(f"cursor {value} out of range")
+        self._cursor = value
+
     def plane_for_stripe(self, stripe_index: int) -> tuple:
         """Plane key hosting the ``stripe_index``-th page of a striped layout."""
         return self._plane_sequence[stripe_index % len(self._plane_sequence)]
@@ -138,9 +156,14 @@ class PageAllocator:
         channel, chip, die, plane = plane_key
         chip_obj = self.chips[(channel, chip)]
         plane_obj = chip_obj.plane(die, plane)
-        if plane_obj.free_pages == 0:
+        # Ask the plane directly instead of pre-scanning free_pages: the
+        # common case (active block has room) is O(1), and a full plane
+        # reports itself via RuntimeError.  The free_pages scan was the
+        # dominant cost of write-heavy bookkeeping (aging, GC migrations).
+        try:
+            block, page = plane_obj.allocate_page()
+        except RuntimeError:
             return None
-        block, page = plane_obj.allocate_page()
         return PhysicalPageAddress(
             channel=channel, chip=chip, die=die, plane=plane, block=block, page=page
         )

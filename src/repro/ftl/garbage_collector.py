@@ -49,6 +49,20 @@ class GCStats:
     blocks_erased: int = 0
     pages_migrated: int = 0
     total_gc_time_ns: int = 0
+    #: Valid-marked pages with no reverse mapping encountered during
+    #: collection.  A non-zero count means FTL bookkeeping diverged from the
+    #: block valid bits - tests assert this stays at zero.
+    orphaned_pages: int = 0
+
+    def delta(self, baseline: "GCStats") -> "GCStats":
+        """Counters accumulated since ``baseline`` (a copy of an earlier self)."""
+        return GCStats(
+            invocations=self.invocations - baseline.invocations,
+            blocks_erased=self.blocks_erased - baseline.blocks_erased,
+            pages_migrated=self.pages_migrated - baseline.pages_migrated,
+            total_gc_time_ns=self.total_gc_time_ns - baseline.total_gc_time_ns,
+            orphaned_pages=self.orphaned_pages - baseline.orphaned_pages,
+        )
 
 
 class GarbageCollector:
@@ -71,6 +85,13 @@ class GarbageCollector:
         self.free_block_watermark = max(1, free_block_watermark)
         self.enabled = enabled
         self.stats = GCStats()
+        #: Ordered log of every collection pass as
+        #: ``(chip_key, die, plane, victim_block, pages_moved)`` - the GC job
+        #: sequence.  Victim selection ties break on ``(valid_pages,
+        #: block_id)`` and plane iteration is ascending ``(die, plane)``, so
+        #: identically-seeded runs must produce identical histories (the
+        #: determinism regression tests compare these logs directly).
+        self.history: List[Tuple[tuple, int, int, int, int]] = []
 
     # ------------------------------------------------------------------
     # Trigger policy
@@ -86,7 +107,11 @@ class GarbageCollector:
         return plane_obj.greedy_victim() is not None
 
     def planes_needing_gc(self, chip_key: tuple) -> List[tuple]:
-        """All ``(die, plane)`` pairs of a chip currently below the watermark."""
+        """All ``(die, plane)`` pairs of a chip currently below the watermark.
+
+        The result is explicitly ordered ascending by ``(die, plane)`` so
+        multi-plane collection sweeps are deterministic across runs.
+        """
         needing = []
         for die in range(self.geometry.dies_per_chip):
             for plane in range(self.geometry.planes_per_die):
@@ -103,6 +128,11 @@ class GarbageCollector:
         Returns ``None`` when there is no eligible victim.  All FTL and block
         bookkeeping is applied immediately; the caller is responsible for
         charging ``duration_ns`` of chip busy time.
+
+        Victim selection is deterministic (greedy on valid-page count,
+        ties broken on the lowest block id - see
+        :meth:`repro.flash.plane.Plane.greedy_victim`), and every pass is
+        appended to :attr:`history`.
         """
         chip = self.chips[chip_key]
         plane_obj = chip.plane(die, plane)
@@ -126,7 +156,10 @@ class GarbageCollector:
             )
             lpn = self.ftl.reverse_lookup(old_address)
             if lpn is None:
-                # Orphaned valid bit (should not happen); just drop it.
+                # Orphaned valid bit: the block says the page is live but the
+                # FTL has no owner for it.  Count it loudly (tests assert the
+                # counter stays at zero) instead of dropping it silently.
+                self.stats.orphaned_pages += 1
                 victim.invalidate(page)
                 continue
             old, new = self.ftl.migrate_page(lpn, preferred_plane=(channel, chip_idx, die, plane))
@@ -149,6 +182,7 @@ class GarbageCollector:
         self.stats.blocks_erased += 1
         self.stats.pages_migrated += len(migrated)
         self.stats.total_gc_time_ns += duration
+        self.history.append((chip_key, die, plane, victim.block_id, len(migrated)))
         return job
 
     def collect_if_needed(self, chip_key: tuple) -> List[GCJob]:

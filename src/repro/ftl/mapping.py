@@ -5,13 +5,26 @@ The paper's evaluation uses "a pure page-level address mapping FTL" (Section
 map needed by garbage collection, performs dynamic page allocation for
 writes, and exposes migration hooks used by GC, wear levelling and bad-block
 replacement.  All timing is handled elsewhere; the FTL is pure bookkeeping.
+
+Fast-forward device aging (:mod:`repro.lifetime.state`) adds one twist: a
+sequential fill of a fresh device lands in a purely *arithmetic* layout (the
+allocator stripes write ``i`` onto plane ``i % P`` and fills blocks in
+order), so the FTL can serve those mappings implicitly instead of
+materialising millions of dictionary entries.  :meth:`install_base_layout`
+declares "logical pages ``0..live-1`` sit in the striped base layout"; the
+explicit ``_map``/``_reverse`` dictionaries then act as an overlay for every
+page that is subsequently rewritten, migrated or erased (tracked in
+``_base_moved``).  Behaviour is bit-identical to writing the base fill
+page-by-page - the lifetime tests compare full occupancy snapshots - but
+installing it is O(1), which is what makes aging a 512-chip device a
+bookkeeping errand instead of a simulation campaign.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.flash.chip import FlashChip
 from repro.flash.geometry import PhysicalPageAddress, SSDGeometry
@@ -46,6 +59,13 @@ class PageMapFTL:
         self.allocator = PageAllocator(geometry, chips, allocation_order)
         self._map: Dict[int, PhysicalPageAddress] = {}
         self._reverse: Dict[PhysicalPageAddress, int] = {}
+        #: Logical pages 0.._base_live-1 are implicitly mapped to the striped
+        #: base layout (see install_base_layout) unless listed in _base_moved.
+        self._base_live = 0
+        self._base_moved: Set[int] = set()
+        self._plane_index: Dict[tuple, int] = {
+            key: index for index, key in enumerate(self.allocator.plane_sequence)
+        }
         self.stats = FTLStats()
         self._migration_listeners: List[MigrationListener] = []
 
@@ -72,16 +92,18 @@ class PageMapFTL:
         of a pristine drive still exercise the full resource layout.
         """
         self.stats.host_reads += 1
-        address = self._map.get(lpn)
+        address = self.lookup(lpn)
         if address is not None:
             return address
         return self.allocator.static_address(lpn)
 
     def translate_write(self, lpn: int) -> PhysicalPageAddress:
         """Allocate a fresh physical page for a write and update the map."""
-        old = self._map.get(lpn)
+        old = self.lookup(lpn)
         if old is not None:
             self._invalidate_physical(old)
+            if lpn < self._base_live:
+                self._base_moved.add(lpn)
         address = self.allocator.allocate()
         self._map[lpn] = address
         self._reverse[address] = lpn
@@ -90,16 +112,81 @@ class PageMapFTL:
 
     def lookup(self, lpn: int) -> Optional[PhysicalPageAddress]:
         """Current mapping of a logical page, or ``None`` if never written."""
-        return self._map.get(lpn)
+        address = self._map.get(lpn)
+        if address is not None:
+            return address
+        if lpn < self._base_live and lpn not in self._base_moved:
+            return self.allocator.static_address(lpn)
+        return None
 
     def reverse_lookup(self, address: PhysicalPageAddress) -> Optional[int]:
         """Logical page stored at a physical address, or ``None`` if stale/free."""
-        return self._reverse.get(address)
+        lpn = self._reverse.get(address)
+        if lpn is not None:
+            return lpn
+        lpn = self._base_lpn(address)
+        if lpn is not None and lpn not in self._base_moved:
+            return lpn
+        return None
+
+    def _base_lpn(self, address: PhysicalPageAddress) -> Optional[int]:
+        """The base-layout LPN stored at ``address``, if any.
+
+        Inverse of the striped base layout: only meaningful for addresses
+        inside the installed base fill (``lpn < _base_live``); everything
+        else returns ``None``.
+        """
+        if not self._base_live:
+            return None
+        plane_index = self._plane_index[address.plane_key]
+        position = address.block * self.geometry.pages_per_block + address.page
+        lpn = position * len(self._plane_index) + plane_index
+        if lpn < self._base_live:
+            return lpn
+        return None
 
     @property
     def mapped_pages(self) -> int:
         """Number of logical pages with a live physical mapping."""
-        return len(self._map)
+        return len(self._map) + self._base_live - len(self._base_moved)
+
+    def mapping_items(self):
+        """Live ``(lpn, address)`` pairs (iteration order unspecified).
+
+        Merges the explicit overlay map with the implicit base layout.
+        Read-only view used by occupancy snapshots and device-state
+        verification; mutate the map only through the translate/migrate API.
+        """
+        if not self._base_live:
+            return self._map.items()
+        return self._iter_mapping_items()
+
+    def _iter_mapping_items(self):
+        yield from self._map.items()
+        static = self.allocator.static_address
+        moved = self._base_moved
+        for lpn in range(self._base_live):
+            if lpn not in moved:
+                yield lpn, static(lpn)
+
+    def install_base_layout(self, live: int) -> None:
+        """Declare logical pages ``0..live-1`` written in the striped layout.
+
+        The O(1) core of fast-forward aging: instead of materialising one
+        map entry per page, the FTL serves the sequential base fill
+        arithmetically (``lookup``/``reverse_lookup`` fall through to the
+        stripe formula) and tracks later rewrites in the overlay.  The
+        caller (:func:`repro.lifetime.state.apply_device_state`)
+        bulk-programs the matching block bookkeeping and positions the
+        allocator cursor.  Counts as host writes, exactly like the replayed
+        equivalent.  Legal only once, on a factory-fresh FTL.
+        """
+        if self._base_live or self._map or self.allocator.cursor != 0:
+            raise ValueError("base layout must be installed on a fresh FTL")
+        if not 0 <= live <= self.geometry.total_pages:
+            raise ValueError("live page count out of range")
+        self._base_live = live
+        self.stats.host_writes += live
 
     # ------------------------------------------------------------------
     # Invalidation and migration
@@ -120,11 +207,13 @@ class PageMapFTL:
         Returns ``(old_address, new_address)`` and fires the migration
         listeners (the readdressing callback among them).
         """
-        old = self._map.get(lpn)
+        old = self.lookup(lpn)
         if old is None:
             raise KeyError(f"lpn {lpn} has no live mapping to migrate")
         new = self.allocator.allocate(preferred_plane=preferred_plane)
         self._invalidate_physical(old)
+        if lpn < self._base_live:
+            self._base_moved.add(lpn)
         self._map[lpn] = new
         self._reverse[new] = lpn
         self.stats.migrations += 1
@@ -147,6 +236,16 @@ class PageMapFTL:
             lpn = self._reverse.pop(address, None)
             if lpn is not None and self._map.get(lpn) == address:
                 del self._map[lpn]
+        if self._base_live:
+            # Base-layout pages living in this block lose their implicit
+            # mapping too (idempotent for pages already moved elsewhere).
+            plane_index = self._plane_index[(channel, chip_idx, die, plane)]
+            num_planes = len(self._plane_index)
+            pages_per_block = self.geometry.pages_per_block
+            for page in range(block_obj.pages_per_block):
+                lpn = (block * pages_per_block + page) * num_planes + plane_index
+                if lpn < self._base_live:
+                    self._base_moved.add(lpn)
         block_obj.erase()
 
     # ------------------------------------------------------------------
@@ -157,7 +256,7 @@ class PageMapFTL:
         total = self.geometry.total_pages
         if total == 0:
             return 0.0
-        return len(self._map) / total
+        return self.mapped_pages / total
 
     def fill(
         self,

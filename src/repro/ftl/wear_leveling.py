@@ -33,6 +33,31 @@ class WearStats:
         return self.max_erase_count - self.min_erase_count
 
 
+def wear_stats(chips: Dict[tuple, FlashChip]) -> WearStats:
+    """Erase-count statistics across every good block of a chip set.
+
+    Free function so the simulator can stamp wear onto every
+    :class:`~repro.metrics.report.SimulationResult` without instantiating a
+    :class:`WearLeveler` (levelling policy and wear *measurement* are
+    independent concerns).
+    """
+    counts: List[int] = []
+    for chip in chips.values():
+        for plane in chip.iter_planes():
+            for block in plane.blocks:
+                if not block.is_bad:
+                    counts.append(block.erase_count)
+    if not counts:
+        return WearStats(0, 0, 0.0, 0)
+    total = sum(counts)
+    return WearStats(
+        min_erase_count=min(counts),
+        max_erase_count=max(counts),
+        mean_erase_count=total / len(counts),
+        total_erases=total,
+    )
+
+
 class WearLeveler:
     """Static wear levelling based on erase-count spread."""
 
@@ -57,21 +82,7 @@ class WearLeveler:
     # ------------------------------------------------------------------
     def wear_stats(self) -> WearStats:
         """Erase-count statistics across every good block of the SSD."""
-        counts: List[int] = []
-        for chip in self.chips.values():
-            for plane in chip.iter_planes():
-                for block in plane.blocks:
-                    if not block.is_bad:
-                        counts.append(block.erase_count)
-        if not counts:
-            return WearStats(0, 0, 0.0, 0)
-        total = sum(counts)
-        return WearStats(
-            min_erase_count=min(counts),
-            max_erase_count=max(counts),
-            mean_erase_count=total / len(counts),
-            total_erases=total,
-        )
+        return wear_stats(self.chips)
 
     def plane_spread(self, chip_key: tuple, die: int, plane: int) -> int:
         """Erase-count spread inside one plane."""

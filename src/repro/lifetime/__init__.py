@@ -1,0 +1,49 @@
+"""Device aging and lifetime accounting.
+
+The paper's utilization/idleness story bites hardest on *deployed* devices:
+full, fragmented, garbage-collecting constantly.  This package makes that
+regime a first-class, reproducible starting point:
+
+* :class:`~repro.lifetime.state.DeviceState` - a frozen, fingerprinted spec
+  of an aged device (fill, fragmentation, overwrite skew, seed) with a
+  fast-forward constructor that programs FTL and block bookkeeping directly
+  instead of simulating millions of write events;
+* :func:`~repro.lifetime.steady.age_to_steady_state` - write passes until
+  write amplification converges, leaving the device on its GC plateau;
+* :class:`~repro.lifetime.accounting.LifetimeAccounting` - host vs flash
+  writes, write amplification and relocation counters, stamped onto every
+  :class:`~repro.metrics.report.SimulationResult`.
+
+``DeviceState`` plugs into :class:`~repro.sim.config.SimulationConfig`
+(``device_state=...``, alongside ``overprovisioning_fraction``) and from
+there into the execution engine's content fingerprints, so aged-device
+sweeps cache and parallelise exactly like fresh-device ones.
+"""
+
+from repro.lifetime.accounting import LifetimeAccounting, write_amplification
+from repro.lifetime.state import (
+    LIFETIME_VERSION,
+    DeviceState,
+    PreconditionReport,
+    apply_device_state,
+    device_state_workload,
+    occupancy_fingerprint,
+    occupancy_snapshot,
+    replay_device_state,
+)
+from repro.lifetime.steady import SteadyStateReport, age_to_steady_state
+
+__all__ = [
+    "LIFETIME_VERSION",
+    "DeviceState",
+    "LifetimeAccounting",
+    "PreconditionReport",
+    "SteadyStateReport",
+    "age_to_steady_state",
+    "apply_device_state",
+    "device_state_workload",
+    "occupancy_fingerprint",
+    "occupancy_snapshot",
+    "replay_device_state",
+    "write_amplification",
+]

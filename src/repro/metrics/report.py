@@ -16,6 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.ftl.garbage_collector import GCStats
+from repro.ftl.wear_leveling import WearStats
+from repro.lifetime.accounting import LifetimeAccounting
 from repro.metrics.breakdown import ExecutionBreakdown
 from repro.metrics.collector import TimeSeriesPoint
 from repro.metrics.latency import LatencyStats, bandwidth_kb_per_sec, iops
@@ -46,6 +49,13 @@ class SimulationResult:
     gc_time_ns: int
     time_series: List[TimeSeriesPoint] = field(default_factory=list)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Garbage collection activity of the measured run (invocations, blocks
+    #: erased, pages migrated, orphans) - preconditioning work excluded.
+    gc_stats: Optional[GCStats] = None
+    #: End-of-run erase-count distribution across the device's good blocks.
+    wear: Optional[WearStats] = None
+    #: Host vs flash writes, write amplification and precondition bookkeeping.
+    lifetime: Optional[LifetimeAccounting] = None
 
     # ------------------------------------------------------------------
     # Figure 10 metrics
@@ -112,6 +122,23 @@ class SimulationResult:
     def coalescing_degree(self) -> float:
         """Average memory requests per flash transaction."""
         return self.flp.average_requests_per_transaction
+
+    # ------------------------------------------------------------------
+    # Lifetime / steady-state metrics
+    # ------------------------------------------------------------------
+    @property
+    def write_amplification(self) -> float:
+        """Flash writes per host write during the run (1.0 when unknown)."""
+        if self.lifetime is None:
+            return 1.0
+        return self.lifetime.write_amplification
+
+    @property
+    def wear_spread(self) -> int:
+        """Erase-count gap between the most and least worn blocks."""
+        if self.wear is None:
+            return 0
+        return self.wear.spread
 
     # ------------------------------------------------------------------
     # Presentation helpers

@@ -21,10 +21,12 @@ from repro.scenarios.arrivals import (
 )
 from repro.scenarios.characterize import WorkloadCharacterization, characterize
 from repro.scenarios.library import (
+    aged_device_state,
     bursty_multitenant_scenario,
     default_scenarios,
     diurnal_scenario,
     steady_scenario,
+    sustained_write_scenario,
 )
 from repro.scenarios.scenario import (
     BuiltScenario,
@@ -53,6 +55,7 @@ __all__ = [
     "ScenarioReport",
     "Tenant",
     "WorkloadCharacterization",
+    "aged_device_state",
     "bursty_multitenant_scenario",
     "characterize",
     "clip_window",
@@ -62,5 +65,6 @@ __all__ = [
     "merge_streams",
     "remap_offsets",
     "steady_scenario",
+    "sustained_write_scenario",
     "time_dilate",
 ]

@@ -1,6 +1,6 @@
 """Canned scenarios: the default grid of the scenario-matrix experiment.
 
-Three scheduler-stress archetypes the single-phase generators could not
+Four scheduler-stress archetypes the single-phase generators could not
 express, each small enough to simulate in seconds yet shaped like the
 pathologies the paper's data-center traces exhibit:
 
@@ -12,12 +12,19 @@ pathologies the paper's data-center traces exhibit:
   FARO's ability to harvest parallelism inside bursts.
 * ``diurnal`` - a data-center tenant and a random tenant riding a
   compressed sinusoidal rate curve; alternates overload and near-idle.
+* ``sustained-write`` - relentless random overwrites, the *precondition-
+  aware* scenario: pair it with :func:`aged_device_state` (the canned
+  :class:`~repro.lifetime.state.DeviceState` it is calibrated for) so the
+  writes land on live data of a full, fragmented drive and garbage
+  collection runs for the whole measurement window - the steady-state
+  regime of :mod:`repro.experiments.steady_state`.
 """
 
 from __future__ import annotations
 
 from typing import Tuple
 
+from repro.lifetime.state import DeviceState
 from repro.scenarios.arrivals import BurstyArrivals, DiurnalArrivals, PoissonArrivals
 from repro.scenarios.scenario import Phase, Scenario, Tenant
 
@@ -126,6 +133,66 @@ def diurnal_scenario(*, requests_per_tenant: int = 64, seed: int = 11) -> Scenar
                 ),
             ),
         ),
+    )
+
+
+def sustained_write_scenario(
+    *,
+    num_requests: int = 96,
+    size_bytes: int = 16 * KB,
+    address_space_bytes: int = 32 * MB,
+    mean_interarrival_ns: int = 2_500,
+    seed: int = 11,
+) -> Scenario:
+    """Sustained random overwrites - the preconditioning-aware workload.
+
+    Pure writes, uniformly random over a *deliberately small* address
+    window: run against a device aged with :func:`aged_device_state`, every
+    request overwrites live data, so each write both consumes a fresh page
+    and invalidates an old one - the traffic that keeps a full drive's
+    garbage collector permanently busy.  Size ``address_space_bytes`` at or
+    below the aged device's live capacity (``logical_pages * fill_fraction
+    * page_size``); :mod:`repro.experiments.steady_state` computes that
+    bound from the swept geometry.
+    """
+    return Scenario(
+        name="sustained-write",
+        seed=seed,
+        phases=(
+            Phase(
+                name="sustain",
+                tenants=(
+                    Tenant.random(
+                        "overwriter",
+                        num_requests=num_requests,
+                        size_bytes=size_bytes,
+                        address_space_bytes=address_space_bytes,
+                        read_fraction=0.0,
+                        seed=seed,
+                    ),
+                ),
+                arrivals=PoissonArrivals(mean_interarrival_ns=mean_interarrival_ns),
+            ),
+        ),
+    )
+
+
+def aged_device_state(*, steady_state: bool = False, seed: int = 11) -> DeviceState:
+    """The canned aged starting point :func:`sustained_write_scenario` targets.
+
+    85% full with 30% of programmed pages invalidated under an 80/20
+    hot/cold overwrite skew - fragmented enough that greedy collection is
+    productive, full enough that every sustained write keeps it running.
+    ``steady_state=True`` additionally drives write amplification to its
+    converged plateau before measurement starts.
+    """
+    return DeviceState(
+        fill_fraction=0.85,
+        invalid_fraction=0.30,
+        hot_fraction=0.2,
+        hot_write_share=0.8,
+        seed=seed,
+        steady_state=steady_state,
     )
 
 

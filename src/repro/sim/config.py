@@ -14,12 +14,15 @@ import dataclasses
 import enum
 import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.flash.geometry import SSDGeometry
 from repro.flash.timing import FlashTiming
 from repro.flash.transaction import TransactionConstraints
 from repro.ftl.allocation import AllocationOrder
+
+if TYPE_CHECKING:  # imported lazily at runtime (repro.lifetime imports us back)
+    from repro.lifetime.state import DeviceState
 
 
 def canonicalize(value) -> object:
@@ -81,6 +84,18 @@ class SimulationConfig:
     #: drive starts with a realistic mix of valid and invalid pages.
     prefill_overwrite_fraction: float = 0.3
 
+    #: Share of the physical capacity reserved as over-provisioning: the
+    #: logical space exposed to the host (and to device-state aging) is
+    #: ``total_pages * (1 - overprovisioning_fraction)``.  Larger reserves
+    #: give garbage collection more slack and lower write amplification -
+    #: the trade the steady-state experiment sweeps.
+    overprovisioning_fraction: float = 0.0
+    #: Aged starting point applied before the run (fast-forward
+    #: preconditioning, optionally driven to the steady-state GC plateau).
+    #: ``None`` keeps the factory-fresh device.  The state is part of the
+    #: config's content fingerprint, so aged jobs cache like fresh ones.
+    device_state: Optional["DeviceState"] = None
+
     #: Readdressing callback: ``None`` means "enabled iff the scheduler is a
     #: Sprinkler variant" (the paper's setup); True/False force it.
     readdressing_callback: Optional[bool] = None
@@ -98,8 +113,23 @@ class SimulationConfig:
             raise ValueError("prefill_fraction must be in [0, 1)")
         if not 0.0 <= self.prefill_overwrite_fraction < 1.0:
             raise ValueError("prefill_overwrite_fraction must be in [0, 1)")
+        if not 0.0 <= self.overprovisioning_fraction < 1.0:
+            raise ValueError("overprovisioning_fraction must be in [0, 1)")
         if self.stale_penalty_ns < 0:
             raise ValueError("stale_penalty_ns must be non-negative")
+        if self.device_state is not None:
+            if self.prefill_fraction > 0.0:
+                raise ValueError(
+                    "device_state and prefill_fraction are alternative "
+                    "preconditioners; set only one"
+                )
+            if self.device_state.steady_state and not self.gc_enabled:
+                raise ValueError("steady-state aging requires gc_enabled=True")
+
+    @property
+    def logical_pages(self) -> int:
+        """Pages of logical space exposed after the over-provisioning reserve."""
+        return int(self.geometry.total_pages * (1.0 - self.overprovisioning_fraction))
 
     def with_overrides(self, **overrides) -> "SimulationConfig":
         """Return a copy with selected fields replaced."""

@@ -21,7 +21,9 @@ Everything is deterministic: same config + same workload -> same result.
 
 from __future__ import annotations
 
+import random
 from collections import deque
+from dataclasses import replace
 from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.core.policies import make_scheduler
@@ -36,6 +38,10 @@ from repro.flash.transaction import FlashTransaction, TransactionBuilder
 from repro.ftl.callbacks import ReaddressingCallback
 from repro.ftl.garbage_collector import GarbageCollector, GCJob
 from repro.ftl.mapping import PageMapFTL
+from repro.ftl.wear_leveling import wear_stats
+from repro.lifetime.accounting import LifetimeAccounting, write_amplification
+from repro.lifetime.state import PreconditionReport, apply_device_state
+from repro.lifetime.steady import SteadyStateReport, age_to_steady_state
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import SimulationResult
 from repro.nvmhc.dma import DmaEngine
@@ -117,11 +123,34 @@ class SSDSimulator:
         self._requests_composed = 0
         self._workload_size = 0
 
+        # --- preconditioning ------------------------------------------------------
         if config.prefill_fraction > 0.0:
             self.ftl.fill(
                 config.prefill_fraction,
                 overwrite_fraction=config.prefill_overwrite_fraction,
             )
+        self.precondition: Optional[PreconditionReport] = None
+        self.steady_state: Optional[SteadyStateReport] = None
+        if config.device_state is not None:
+            state = config.device_state
+            # One RNG stream across fill and steady aging, so the whole aged
+            # starting point is a function of (config, state.seed) alone.
+            rng = random.Random(state.seed)
+            self.precondition = apply_device_state(
+                self.ftl, state, logical_pages=config.logical_pages, rng=rng
+            )
+            if state.steady_state:
+                self.steady_state = age_to_steady_state(
+                    self.ftl,
+                    self.gc,
+                    state,
+                    live_pages=self.precondition.live_pages,
+                    rng=rng,
+                )
+        # Snapshot the firmware counters so results report the measured run
+        # only - aging writes/collections stay out of the run's accounting.
+        self._ftl_baseline = replace(self.ftl.stats)
+        self._gc_baseline = replace(self.gc.stats)
 
     # ======================================================================
     # Public API
@@ -332,6 +361,25 @@ class SSDSimulator:
         transactions = sum(
             controller.total_transactions for controller in self.controllers.values()
         )
+        gc_run = self.gc.stats.delta(self._gc_baseline)
+        host_writes = self.ftl.stats.host_writes - self._ftl_baseline.host_writes
+        relocated = self.ftl.stats.migrations - self._ftl_baseline.migrations
+        flash_writes = host_writes + relocated
+        lifetime = LifetimeAccounting(
+            host_writes=host_writes,
+            flash_writes=flash_writes,
+            write_amplification=write_amplification(host_writes, flash_writes),
+            pages_relocated=relocated,
+            host_reads=self.ftl.stats.host_reads - self._ftl_baseline.host_reads,
+            precondition_writes=self.precondition.page_writes if self.precondition else 0,
+            steady_state_passes=self.steady_state.passes if self.steady_state else 0,
+            steady_state_converged=(
+                self.steady_state.converged if self.steady_state else False
+            ),
+            steady_state_wa=(
+                self.steady_state.write_amplification if self.steady_state else 0.0
+            ),
+        )
         result = SimulationResult(
             scheduler=self.scheduler.name,
             workload=workload_name,
@@ -356,9 +404,12 @@ class SSDSimulator:
                 "stalled_requests": float(self.queue.stats.stalled_requests),
                 "requests_retargeted": float(self.callback.stats.requests_retargeted),
                 "requests_penalized": float(self.callback.stats.requests_penalized),
-                "gc_invocations": float(self.gc.stats.invocations),
-                "gc_pages_migrated": float(self.gc.stats.pages_migrated),
+                "gc_invocations": float(gc_run.invocations),
+                "gc_pages_migrated": float(gc_run.pages_migrated),
             },
+            gc_stats=gc_run,
+            wear=wear_stats(self.chips),
+            lifetime=lifetime,
         )
         return result
 

@@ -124,3 +124,82 @@ class TestFill:
 
     def test_utilization_empty(self, ftl):
         assert ftl.utilization() == 0.0
+
+
+class TestBaseLayout:
+    """The implicit (lazy) base layout behind fast-forward aging."""
+
+    def install(self, ftl, small_geometry, live=64):
+        # Bulk-program the blocks the base layout claims, like
+        # apply_device_state does, so block state and mapping agree.
+        sequence = ftl.allocator.plane_sequence
+        num_planes = len(sequence)
+        per_plane, extra = divmod(live, num_planes)
+        for index, (channel, chip, die, plane) in enumerate(sequence):
+            count = per_plane + (1 if index < extra else 0)
+            if count == 0:
+                continue
+            plane_obj = ftl.chips[(channel, chip)].plane(die, plane)
+            ppb = small_geometry.pages_per_block
+            full, rem = divmod(count, ppb)
+            for block_id in range(full):
+                plane_obj.blocks[block_id].program_bulk(ppb)
+            if rem:
+                plane_obj.blocks[full].program_bulk(rem)
+            plane_obj.active_block_id = (count - 1) // ppb
+        ftl.install_base_layout(live)
+        ftl.allocator.cursor = live % num_planes
+        return live
+
+    def test_base_pages_resolve_like_written_pages(self, ftl, small_geometry):
+        live = self.install(ftl, small_geometry)
+        assert ftl.mapped_pages == live
+        for lpn in range(live):
+            address = ftl.lookup(lpn)
+            assert address == ftl.allocator.static_address(lpn)
+            assert ftl.reverse_lookup(address) == lpn
+        assert ftl.lookup(live) is None
+
+    def test_mapping_items_merge_base_and_overlay(self, ftl, small_geometry):
+        live = self.install(ftl, small_geometry)
+        rewritten = ftl.translate_write(3)
+        items = dict(ftl.mapping_items())
+        assert len(items) == live
+        assert items[3] == rewritten
+        assert items[4] == ftl.allocator.static_address(4)
+
+    def test_overwrite_invalidates_base_page(self, ftl, small_geometry):
+        self.install(ftl, small_geometry)
+        old = ftl.lookup(5)
+        new = ftl.translate_write(5)
+        assert new != old
+        assert ftl.reverse_lookup(old) is None
+        assert ftl.reverse_lookup(new) == 5
+        assert ftl.lookup(5) == new
+        block = ftl.chips[old.chip_key].plane(old.die, old.plane).blocks[old.block]
+        assert not block.is_valid(old.page)
+
+    def test_migrate_base_page(self, ftl, small_geometry):
+        self.install(ftl, small_geometry)
+        old, new = ftl.migrate_page(2)
+        assert old == ftl.allocator.static_address(2)
+        assert ftl.lookup(2) == new
+        assert ftl.reverse_lookup(old) is None
+
+    def test_erase_block_removes_base_stragglers(self, ftl, small_geometry):
+        live = self.install(ftl, small_geometry)
+        victim = ftl.allocator.static_address(0)
+        before = ftl.mapped_pages
+        ftl.erase_block(victim.chip_key, victim.die, victim.plane, victim.block)
+        assert ftl.lookup(0) is None
+        assert ftl.reverse_lookup(victim) is None
+        assert ftl.mapped_pages < before
+
+    def test_install_requires_fresh_ftl(self, ftl, small_geometry):
+        ftl.translate_write(0)
+        with pytest.raises(ValueError):
+            ftl.install_base_layout(16)
+
+    def test_install_rejects_out_of_range(self, ftl, small_geometry):
+        with pytest.raises(ValueError):
+            ftl.install_base_layout(small_geometry.total_pages + 1)

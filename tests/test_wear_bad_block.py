@@ -1,15 +1,36 @@
 """Tests for wear levelling and bad block management."""
 
+import random
+
 import pytest
 
 from repro.ftl.bad_block import BadBlockManager
+from repro.ftl.garbage_collector import GarbageCollector
 from repro.ftl.mapping import PageMapFTL
-from repro.ftl.wear_leveling import WearLeveler
+from repro.ftl.wear_leveling import WearLeveler, wear_stats
+from repro.lifetime.state import DeviceState, apply_device_state
+from repro.lifetime.steady import age_to_steady_state
 
 
 @pytest.fixture
 def ftl(small_geometry, small_chips):
     return PageMapFTL(small_geometry, small_chips)
+
+
+@pytest.fixture
+def aged_ftl(small_geometry, small_chips, fast_timing):
+    """An FTL fast-forwarded to the steady-state GC plateau (non-trivial wear)."""
+    ftl = PageMapFTL(small_geometry, small_chips)
+    gc = GarbageCollector(small_geometry, fast_timing, ftl, small_chips)
+    state = DeviceState(
+        fill_fraction=0.85, invalid_fraction=0.3, seed=7, steady_state=True
+    )
+    rng = random.Random(state.seed)
+    report = apply_device_state(
+        ftl, state, logical_pages=small_geometry.total_pages, rng=rng
+    )
+    age_to_steady_state(ftl, gc, state, live_pages=report.live_pages, rng=rng)
+    return ftl
 
 
 class TestWearLeveler:
@@ -105,3 +126,89 @@ class TestBadBlockManager:
         before = manager.spare_capacity_pages()
         manager.mark_factory_bad((0, 0), 0, 0, 1)
         assert manager.spare_capacity_pages() == before - small_geometry.pages_per_block
+
+
+class TestAgedDeviceStates:
+    """Wear levelling and bad-block handling on non-fresh (aged) devices."""
+
+    def test_aged_device_has_real_wear(self, aged_ftl):
+        stats = wear_stats(aged_ftl.chips)
+        assert stats.total_erases > 0
+        assert stats.max_erase_count >= 1
+
+    def test_level_plane_on_aged_device(self, small_geometry, small_chips, aged_ftl):
+        leveler = WearLeveler(
+            small_geometry, aged_ftl, small_chips, spread_threshold=1
+        )
+        live_before = aged_ftl.mapped_pages
+        levelled = 0
+        for chip_key in small_chips:
+            for die in range(small_geometry.dies_per_chip):
+                for plane in range(small_geometry.planes_per_die):
+                    if not leveler.needs_leveling(chip_key, die, plane):
+                        continue
+                    moves = leveler.level_plane(chip_key, die, plane)
+                    levelled += 1
+                    for old, new in moves:
+                        lpn = aged_ftl.reverse_lookup(new)
+                        assert lpn is not None
+                        assert aged_ftl.lookup(lpn) == new
+                        assert aged_ftl.reverse_lookup(old) is None
+        assert levelled > 0, "steady-state aging should leave uneven wear"
+        # Levelling relocates live data; it never loses or duplicates any.
+        assert aged_ftl.mapped_pages == live_before
+
+    def test_level_plane_deterministic_on_aged_device(
+        self, small_geometry, fast_timing
+    ):
+        from repro.flash.chip import FlashChip
+
+        def run():
+            chips = {
+                key: FlashChip(key, small_geometry)
+                for key in small_geometry.iter_chip_keys()
+            }
+            ftl = PageMapFTL(small_geometry, chips)
+            gc = GarbageCollector(small_geometry, fast_timing, ftl, chips)
+            state = DeviceState(
+                fill_fraction=0.85, invalid_fraction=0.3, seed=7, steady_state=True
+            )
+            rng = random.Random(state.seed)
+            report = apply_device_state(
+                ftl, state, logical_pages=small_geometry.total_pages, rng=rng
+            )
+            age_to_steady_state(ftl, gc, state, live_pages=report.live_pages, rng=rng)
+            leveler = WearLeveler(small_geometry, ftl, chips, spread_threshold=1)
+            return leveler.level_plane((0, 0), 0, 0)
+
+        assert run() == run()
+
+    def test_retire_block_on_aged_device(self, small_geometry, small_chips, aged_ftl):
+        manager = BadBlockManager(small_geometry, aged_ftl, small_chips)
+        # Retire a block that holds live data on the aged device.
+        plane_obj = small_chips[(0, 0)].plane(0, 0)
+        victim = next(block for block in plane_obj.blocks if block.valid_count > 0)
+        live_before = aged_ftl.mapped_pages
+        record = manager.retire_block((0, 0), 0, 0, victim.block_id)
+        assert record.grown
+        assert record.pages_relocated > 0
+        assert aged_ftl.mapped_pages == live_before
+        assert victim.is_bad
+        # The retired block never serves future allocations.
+        for _ in range(min(plane_obj.free_pages, small_geometry.pages_per_block)):
+            block_id, _ = plane_obj.allocate_page()
+            assert block_id != victim.block_id
+
+    def test_gc_after_bad_block_has_no_orphans(
+        self, small_geometry, small_chips, aged_ftl, fast_timing
+    ):
+        gc = GarbageCollector(small_geometry, fast_timing, aged_ftl, small_chips)
+        manager = BadBlockManager(small_geometry, aged_ftl, small_chips)
+        plane_obj = small_chips[(0, 0)].plane(0, 0)
+        victim = next(block for block in plane_obj.blocks if block.valid_count > 0)
+        manager.retire_block((0, 0), 0, 0, victim.block_id)
+        # Collect every plane that is collectable; bookkeeping must stay
+        # consistent (no valid page without an owner).
+        for chip_key in small_chips:
+            gc.collect_if_needed(chip_key)
+        assert gc.stats.orphaned_pages == 0
