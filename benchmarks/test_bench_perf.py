@@ -1,0 +1,49 @@
+"""Benchmark: the canonical perf suite through the trajectory recorder.
+
+Runs the quick-scale canonical suite once under pytest-benchmark timing and
+attaches the headline events/sec numbers, so the perf subsystem's own cost
+and the simulator's throughput appear in the standard benchmark report.
+
+The machine-independent invariants are asserted here: the recorded cases
+must stay comparable with the committed ``BENCH_5.json`` (same workload
+fingerprints) and produce bit-identical simulation results (same digests).
+The >25% events/sec regression gate is deliberately *not* asserted in the
+tier-1 suite - wall-clock speed depends on the host, so that gate lives in
+the dedicated ``perf-trajectory`` CI job.  (The committed trajectory
+records its host in its ``platform`` field; if CI hardware drifts from it,
+re-commit the job's uploaded ``BENCH_current.json`` artifact as the new
+``BENCH_5.json`` - digests, which are machine-independent, must not change
+in that refresh.)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.perf.compare import compare_trajectories
+from repro.perf.record import load_trajectory, record_trajectory
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_bench_perf_suite(run_once, benchmark):
+    trajectory = run_once(record_trajectory, "quick")
+    benchmark.extra_info["overall_events_per_sec"] = round(
+        trajectory.overall_events_per_sec, 1
+    )
+    for case in trajectory.cases:
+        benchmark.extra_info[f"{case.name}_events_per_sec"] = case.events_per_sec
+
+    committed = load_trajectory(REPO_ROOT / "BENCH_5.json")
+    comparison = compare_trajectories(committed, trajectory, require_identical=True)
+    benchmark.extra_info["vs_committed"] = round(comparison.overall_ratio, 3)
+    assert not comparison.missing, comparison.report()
+    assert not comparison.incomparable, (
+        "canonical suite workloads diverged from the committed trajectory; "
+        "re-record BENCH_5.json together with the suite change\n"
+        + comparison.report()
+    )
+    assert not comparison.digest_mismatches, (
+        "simulation results are no longer bit-identical to the committed "
+        "trajectory\n" + comparison.report()
+    )

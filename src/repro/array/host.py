@@ -19,7 +19,7 @@ the pooled array-wide populations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.array.layout import ArrayLayout
 from repro.metrics.latency import LatencyStats, merge_latency_stats

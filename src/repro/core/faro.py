@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.flash.commands import FlashOp
 from repro.flash.request import MemoryRequest
@@ -87,16 +87,26 @@ class FaroPolicy:
     def best_chip(
         self, candidates: Dict[tuple, List[MemoryRequest]]
     ) -> Optional[tuple]:
-        """Chip whose pending requests have the highest FARO priority."""
+        """Chip whose pending requests have the highest FARO priority.
+
+        Ties on ``(overlap_depth, connectivity)`` go to the lowest chip key,
+        in one pass - sorting the whole candidate map per composition (as an
+        earlier revision did) is a redundant O(n log n) step the profiler
+        flagged.
+        """
         best_key: Optional[tuple] = None
-        best_priority: Optional[ChipPriority] = None
-        for chip_key in sorted(candidates.keys()):
-            requests = candidates[chip_key]
+        best_sort_key: Optional[tuple] = None
+        for chip_key, requests in candidates.items():
             if not requests:
                 continue
             priority = self.chip_priority(chip_key, requests)
-            if best_priority is None or priority.sort_key > best_priority.sort_key:
-                best_priority = priority
+            sort_key = priority.sort_key
+            if (
+                best_key is None
+                or sort_key > best_sort_key
+                or (sort_key == best_sort_key and chip_key < best_key)
+            ):
+                best_sort_key = sort_key
                 best_key = chip_key
         return best_key
 

@@ -35,29 +35,56 @@ class PhysicalAddressScheduler(SchedulerBase):
     allows_overcommit = False
     uses_readdressing_callback = False
 
+    def __init__(self, context) -> None:
+        super().__init__(context)
+        #: The I/O currently being composed.  PAS commits one I/O atomically
+        #: before considering the next, so at most one tag is partially
+        #: composed at any instant - remembering it saves the "find the
+        #: started I/O" scan over the whole queue on every composition.
+        self._current: Optional[Tag] = None
+
     def next_composition(self, now_ns: int) -> Optional[MemoryRequest]:
         """Continue a partially-composed I/O, else start a conflict-free one."""
+        current = self._current
+        if current is not None:
+            request = current.next_uncomposed()
+            if request is not None:
+                return request
+            self._current = None
         pending = self._pending_tags()
         if not pending:
             return None
-        # An I/O commits atomically: finish composing any I/O already started.
+        # Defensive re-scan: if some path other than this method composed a
+        # request, finish that I/O first (arrival order), as the pre-cache
+        # implementation did.
         for tag in pending:
             if tag.composed_count > 0:
                 request = tag.next_uncomposed()
                 if request is not None:
+                    self._current = tag
                     return request
         # Otherwise pick the first queued I/O whose chips are all free.
+        controllers = self.context.controllers
         for tag in pending:
             if self._has_fua_barrier(pending, tag):
                 break
-            if not self._conflicts(tag):
+            for chip_key in tag.by_chip:
+                if controllers[chip_key[0]].has_outstanding(chip_key):
+                    break  # collision: try the next queued I/O
+            else:
                 request = tag.next_uncomposed()
                 if request is not None:
+                    self._current = tag
                     return request
             if tag.io.force_unit_access:
                 # A force-unit-access request must not be bypassed.
                 break
         return None
+
+    def on_tag_retired(self, tag: Tag) -> None:
+        super().on_tag_retired(tag)
+        if self._current is not None and self._current.io_id == tag.io_id:
+            self._current = None
 
     def _conflicts(self, tag: Tag) -> bool:
         """True when any chip targeted by the I/O still holds outstanding work."""

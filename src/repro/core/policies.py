@@ -8,7 +8,7 @@ here.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Dict
 
 from repro.core.pas import PhysicalAddressScheduler
 from repro.core.scheduler import SchedulerBase, SchedulerContext

@@ -33,6 +33,7 @@ class RiosTraversal:
         self.geometry = geometry
         self.channel_first = channel_first
         self._order: List[tuple] = list(self._build_order())
+        self._index = {chip_key: index for index, chip_key in enumerate(self._order)}
         self._cursor = 0
 
     def _build_order(self):
@@ -79,6 +80,36 @@ class RiosTraversal:
                 self._cursor = (index + 1) % total
                 return chip_key
         return None
+
+    def index_of(self, chip_key: tuple) -> int:
+        """Position of a chip in the traversal order."""
+        return self._index[chip_key]
+
+    def next_chip_indexed(self, indices) -> Optional[tuple]:
+        """Next chip at a traversal index in ``indices``, cyclically from the cursor.
+
+        Equivalent to :meth:`next_chip` with ``has_work = index in indices``
+        but O(len(indices)) instead of a scan over every chip of the SSD:
+        the caller (Sprinkler) maintains the set of traversal indices that
+        currently hold composable work, so an SSD with work on 3 of 1024
+        chips inspects 3 candidates, not 1024.
+        """
+        if not indices:
+            return None
+        total = len(self._order)
+        cursor = self._cursor
+        best = total
+        for index in indices:
+            offset = index - cursor
+            if offset < 0:
+                offset += total
+            if offset < best:
+                best = offset
+        index = cursor + best
+        if index >= total:
+            index -= total
+        self._cursor = index + 1 if index + 1 < total else 0
+        return self._order[index]
 
     def __len__(self) -> int:
         return len(self._order)

@@ -30,7 +30,7 @@ not group them for FLP; *SPK3* does both.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.core.faro import FaroPolicy
 from repro.core.rios import RiosTraversal
@@ -69,7 +69,13 @@ class Sprinkler(SchedulerBase):
         self._burst: Deque[MemoryRequest] = deque()
         #: Incremental per-chip index of not-yet-handed-out memory requests,
         #: so RIOS traversal does not rescan the whole queue per composition.
+        #: Invariant: every present key maps to a non-empty list.
         self._chip_queues: Dict[tuple, List[MemoryRequest]] = {}
+        #: Traversal indices of the chips present in ``_chip_queues`` - the
+        #: precomputed candidate set ``next_chip_indexed`` selects from, so a
+        #: traversal step inspects only chips that hold work instead of
+        #: rescanning the whole SSD per composition.
+        self._work_indices: set = set()
         self.allows_overcommit = use_faro
         self.name = self._variant_name()
 
@@ -89,8 +95,14 @@ class Sprinkler(SchedulerBase):
         """Index the tag's memory requests per target chip (RIOS step i)."""
         super().register_tag(tag, now_ns)
         if self.use_rios:
+            queues = self._chip_queues
             for chip_key, requests in tag.by_chip.items():
-                self._chip_queues.setdefault(chip_key, []).extend(requests)
+                queue = queues.get(chip_key)
+                if queue is None:
+                    queues[chip_key] = list(requests)
+                    self._work_indices.add(self.traversal.index_of(chip_key))
+                else:
+                    queue.extend(requests)
 
     # ------------------------------------------------------------------
     # Composition policy
@@ -101,6 +113,12 @@ class Sprinkler(SchedulerBase):
             head = self._burst.popleft()
             if head.composed_at_ns is None:
                 return head
+        if self.use_rios and not self._fua_live:
+            # Fast path (the overwhelmingly common one): RIOS schedules from
+            # the per-chip candidate index alone, so with no force-unit-access
+            # tag alive there is no reason to materialise the pending-tag
+            # list on every composition.
+            return self._next_rios(())
         pending = self._pending_tags()
         if not pending:
             return None
@@ -121,13 +139,11 @@ class Sprinkler(SchedulerBase):
         return None
 
     # -- SPK2 / SPK3: resource-driven traversal --------------------------
-    def _next_rios(self, pending: List[Tag]) -> Optional[MemoryRequest]:
+    def _next_rios(self, pending: Sequence[Tag]) -> Optional[MemoryRequest]:
         # Visit chips in traversal order; each visit drains either one request
         # (SPK2) or a FARO-ordered over-commit burst (SPK3) for that chip.
         for _ in range(len(self.traversal)):
-            chip_key = self.traversal.next_chip(
-                lambda key: bool(self._chip_queues.get(key))
-            )
+            chip_key = self.traversal.next_chip_indexed(self._work_indices)
             if chip_key is None:
                 return None
             chip_requests = self._drain_chip_queue(chip_key)
@@ -141,9 +157,14 @@ class Sprinkler(SchedulerBase):
                 burst = ordered[: self.rios_batch_per_visit]
             # Requests beyond the burst limit return to the chip's queue for
             # a later traversal visit.
-            leftover = [req for req in ordered[len(burst):]]
+            leftover = ordered[len(burst):]
             if leftover:
-                self._chip_queues[chip_key] = leftover + self._chip_queues.get(chip_key, [])
+                existing = self._chip_queues.get(chip_key)
+                if existing is None:
+                    self._chip_queues[chip_key] = leftover
+                    self._work_indices.add(self.traversal.index_of(chip_key))
+                else:
+                    self._chip_queues[chip_key] = leftover + existing
             head, rest = burst[0], burst[1:]
             self._burst = deque(rest)
             return head
@@ -151,7 +172,10 @@ class Sprinkler(SchedulerBase):
 
     def _drain_chip_queue(self, chip_key: tuple) -> List[MemoryRequest]:
         """Remove and return the uncomposed requests indexed for a chip."""
-        queue = self._chip_queues.pop(chip_key, [])
+        queue = self._chip_queues.pop(chip_key, None)
+        if queue is None:
+            return []
+        self._work_indices.discard(self.traversal.index_of(chip_key))
         return [req for req in queue if req.composed_at_ns is None]
 
     # -- SPK1: FARO within the arrival-order window ----------------------
@@ -194,11 +218,13 @@ class Sprinkler(SchedulerBase):
         callback only has to act when the data moved between different flash
         internal resources (different chip, die or plane).
         """
-        if old.plane_key == new.plane_key:
+        if old.same_plane_as(new):
             return
         if self.use_rios and old.chip_key != new.chip_key:
-            # Move not-yet-handed-out requests between the per-chip indexes.
-            old_queue = self._chip_queues.get(old.chip_key, [])
+            # Move not-yet-handed-out requests between the per-chip indexes
+            # (keeping the non-empty-queue/work-index invariant intact).
+            old_chip = old.chip_key
+            old_queue = self._chip_queues.get(old_chip, [])
             moved = [
                 req
                 for req in old_queue
@@ -206,10 +232,19 @@ class Sprinkler(SchedulerBase):
             ]
             if moved:
                 moved_ids = {req.request_id for req in moved}
-                self._chip_queues[old.chip_key] = [
-                    req for req in old_queue if req.request_id not in moved_ids
-                ]
-                self._chip_queues.setdefault(new.chip_key, []).extend(moved)
+                remaining = [req for req in old_queue if req.request_id not in moved_ids]
+                if remaining:
+                    self._chip_queues[old_chip] = remaining
+                else:
+                    self._chip_queues.pop(old_chip, None)
+                    self._work_indices.discard(self.traversal.index_of(old_chip))
+                new_chip = new.chip_key
+                queue = self._chip_queues.get(new_chip)
+                if queue is None:
+                    self._chip_queues[new_chip] = moved
+                    self._work_indices.add(self.traversal.index_of(new_chip))
+                else:
+                    queue.extend(moved)
         for tag in self.tags:
             moved: List[MemoryRequest] = []
             old_bucket = tag.by_chip.get(old.chip_key)

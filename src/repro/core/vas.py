@@ -34,10 +34,16 @@ class VirtualAddressScheduler(SchedulerBase):
 
     def next_composition(self, now_ns: int) -> Optional[MemoryRequest]:
         """Compose the head-of-queue I/O, stalling on chip conflicts."""
-        pending = self._pending_tags()
-        if not pending:
+        # Strict FIFO only ever looks at the first tag with uncomposed work,
+        # so scan for it directly instead of materialising the whole pending
+        # list on every composition.
+        head = None
+        for tag in self.tags:
+            if tag.composed_count < len(tag.memory_requests):
+                head = tag
+                break
+        if head is None:
             return None
-        head = pending[0]
         if head.composed_count == 0 and self._conflicts(head):
             # The head I/O collides with outstanding work; VAS is unaware of
             # the physical layout, so it simply waits - nothing else may be
@@ -47,7 +53,8 @@ class VirtualAddressScheduler(SchedulerBase):
 
     def _conflicts(self, tag: Tag) -> bool:
         """True when any chip targeted by the I/O still holds outstanding work."""
+        controllers = self.context.controllers
         for chip_key in tag.by_chip:
-            if self.context.chip_has_outstanding(chip_key):
+            if controllers[chip_key[0]].has_outstanding(chip_key):
                 return True
         return False

@@ -24,7 +24,7 @@ from repro.experiments.runner import (
     paper_config,
 )
 from repro.experiments.spec import ExperimentSpec
-from repro.metrics.report import SimulationResult, format_table
+from repro.metrics.report import format_table
 
 
 def build_spec(

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.engine import ExecutionEngine, engine_from_cli
 from repro.experiments.runner import paper_config, ExperimentScale
 from repro.experiments.spec import ExperimentSpec, WorkloadSpec
-from repro.metrics.report import SimulationResult, format_table
+from repro.metrics.report import format_table
 
 SCHEDULERS = ("VAS", "PAS", "SPK3")
 

@@ -16,8 +16,8 @@ The :class:`FlashChip` object tracks:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.flash.geometry import SSDGeometry
 from repro.flash.plane import Plane
@@ -143,3 +143,14 @@ class FlashChip:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"FlashChip(key={self.chip_key}, busy_until={self.busy_until})"
+
+
+def planes_by_key(chips: Dict[tuple, "FlashChip"]) -> Dict[tuple, Plane]:
+    """Flatten a chip set into one ``(channel, chip, die, plane) -> Plane`` map.
+
+    The FTL, the garbage collector and the page allocator each keep this
+    direct lookup so their per-page-write hot paths resolve a plane with a
+    single dict probe instead of the two-step ``chips[chip_key].plane(...)``
+    walk (which builds two key tuples per call).
+    """
+    return {key: plane for chip in chips.values() for key, plane in chip.planes.items()}

@@ -85,11 +85,14 @@ def classify_parallelism(num_dies: int, max_planes_per_die: int) -> ParallelismC
     return ParallelismClass.PAL3
 
 
+_KIND_FOR_PARALLELISM = {
+    ParallelismClass.NON_PAL: TransactionKind.LEGACY,
+    ParallelismClass.PAL1: TransactionKind.MULTIPLANE,
+    ParallelismClass.PAL2: TransactionKind.INTERLEAVE,
+    ParallelismClass.PAL3: TransactionKind.INTERLEAVE_MULTIPLANE,
+}
+
+
 def kind_for_parallelism(parallelism: ParallelismClass) -> TransactionKind:
     """Map an FLP class onto the transaction kind that realises it."""
-    return {
-        ParallelismClass.NON_PAL: TransactionKind.LEGACY,
-        ParallelismClass.PAL1: TransactionKind.MULTIPLANE,
-        ParallelismClass.PAL2: TransactionKind.INTERLEAVE,
-        ParallelismClass.PAL3: TransactionKind.INTERLEAVE_MULTIPLANE,
-    }[parallelism]
+    return _KIND_FOR_PARALLELISM[parallelism]

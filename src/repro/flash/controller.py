@@ -93,8 +93,14 @@ class FlashController:
         return len(self.pending[chip_key]) + in_flight
 
     def has_outstanding(self, chip_key: tuple) -> bool:
-        """True when the chip already holds committed or in-flight work."""
-        return self.outstanding_count(chip_key) > 0
+        """True when the chip already holds committed or in-flight work.
+
+        An active transaction always carries at least one request, so this
+        avoids the per-call length arithmetic of :meth:`outstanding_count` -
+        conflict-checking schedulers (VAS/PAS) probe every chip of every
+        queued I/O per composition, making this one of their hottest calls.
+        """
+        return bool(self.pending[chip_key]) or self.active[chip_key] is not None
 
     def pending_requests(self, chip_key: tuple) -> Sequence[MemoryRequest]:
         """Read-only view of the chip's commit queue (used by the readdressing callback)."""
@@ -118,8 +124,11 @@ class FlashController:
     # ------------------------------------------------------------------
     def chip_available(self, chip_key: tuple, now_ns: int) -> bool:
         """True when the chip can start a new transaction."""
-        chip = self.chips[chip_key]
-        return self.active[chip_key] is None and not chip.is_busy(now_ns)
+        # Inline FlashChip.is_busy - this gate runs on every commit,
+        # decision window and completion.
+        return (
+            self.active[chip_key] is None and now_ns >= self.chips[chip_key].busy_until
+        )
 
     def start_transaction(self, chip_key: tuple, now_ns: int) -> Optional[TransactionSchedule]:
         """Build the next transaction for a chip and resolve its phase timing.
@@ -171,7 +180,9 @@ class FlashController:
     # Internal helpers
     # ------------------------------------------------------------------
     def _schedule_phases(self, transaction: FlashTransaction, now_ns: int) -> TransactionSchedule:
-        is_write = any(req.op is FlashOp.PROGRAM for req in transaction.requests)
+        is_write = transaction.has_program
+        if is_write is None:
+            is_write = any(req.op is FlashOp.PROGRAM for req in transaction.requests)
         has_bus = transaction.bus_time_ns > 0
         if transaction.is_gc or not has_bus:
             # Pure cell work (GC copyback + erase): no channel traffic.
@@ -214,7 +225,12 @@ class FlashController:
         transaction = schedule.transaction
         chip = self.chips[chip_key]
         chip.occupy(schedule.issue_ns, schedule.complete_ns)
-        die_active = self._die_active_time(transaction)
+        # The builder computes die activity alongside cell pricing; only
+        # transactions assembled outside it (GC placeholders) fall back to
+        # the explicit per-request walk.
+        die_active = transaction.die_active_time_ns
+        if die_active is None:
+            die_active = self._die_active_time(transaction)
         chip.record_transaction(
             num_requests=transaction.num_requests,
             num_dies=len(transaction.dies),

@@ -24,7 +24,7 @@ def reset_memory_request_ids() -> None:
     _memory_request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """One page-sized flash access derived from a host I/O request.
 

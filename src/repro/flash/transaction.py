@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.flash.commands import (
     FlashOp,
@@ -47,7 +47,7 @@ def reset_transaction_ids() -> None:
     _transaction_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class FlashTransaction:
     """A group of memory requests executed as one unit on a single chip."""
 
@@ -60,6 +60,15 @@ class FlashTransaction:
     # Timing, filled by the controller when the transaction is executed.
     bus_time_ns: int = 0
     cell_time_ns: int = 0
+    #: Sum of per-die cell activity (intra-chip idleness accounting), filled
+    #: by the builder as a by-product of pricing the cell phase.  ``None``
+    #: for transactions assembled outside the builder (GC placeholders); the
+    #: controller computes it on demand for those.
+    die_active_time_ns: Optional[int] = None
+    #: True when the transaction carries at least one PROGRAM request,
+    #: recorded by the builder so phase scheduling does not re-scan the
+    #: requests.  ``None`` for transactions assembled outside the builder.
+    has_program: Optional[bool] = None
     issued_at_ns: Optional[int] = None
     bus_started_at_ns: Optional[int] = None
     completed_at_ns: Optional[int] = None
@@ -69,11 +78,16 @@ class FlashTransaction:
     def __post_init__(self) -> None:
         if not self.requests:
             raise ValueError("a transaction must contain at least one memory request")
-        chips = {req.chip_key for req in self.requests}
-        if len(chips) != 1:
-            raise ValueError(f"a transaction must target a single chip, got {chips}")
-        if next(iter(chips)) != self.chip_key:
-            raise ValueError("transaction chip_key does not match its requests")
+        channel, chip = self.chip_key
+        for req in self.requests:
+            address = req.address
+            if address is None:
+                raise ValueError("memory request has not been translated yet")
+            if address.channel != channel or address.chip != chip:
+                chips = {req.chip_key for req in self.requests}
+                if len(chips) != 1:
+                    raise ValueError(f"a transaction must target a single chip, got {chips}")
+                raise ValueError("transaction chip_key does not match its requests")
 
     @property
     def num_requests(self) -> int:
@@ -139,6 +153,12 @@ class TransactionBuilder:
         self.geometry = geometry
         self.timing = timing
         self.constraints = constraints or TransactionConstraints()
+        #: Per-page program latencies and per-size bus times, memoized: both
+        #: are pure functions of immutable timing parameters, and the builder
+        #: prices every transaction of the run.
+        self._program_ns: Dict[int, int] = {}
+        self._bus_ns: Dict[int, int] = {}
+        self._planes_per_chip = geometry.dies_per_chip * geometry.planes_per_die
 
     # ------------------------------------------------------------------
     # Selection
@@ -162,8 +182,12 @@ class TransactionBuilder:
         used_planes: set = set()
         op: Optional[FlashOp] = None
         limit = self.constraints.max_requests_per_transaction
+        # Once every plane register of the chip is occupied no further
+        # request can join the transaction, whatever its operation - stop
+        # scanning instead of walking the rest of an over-committed queue.
+        max_planes = self._planes_per_chip
         for req in pending:
-            if len(selected) >= limit:
+            if len(selected) >= limit or len(used_planes) >= max_planes:
                 break
             if req.address is None:
                 continue
@@ -202,28 +226,79 @@ class TransactionBuilder:
     # Construction
     # ------------------------------------------------------------------
     def build(self, chip_key: tuple, requests: Sequence[MemoryRequest]) -> FlashTransaction:
-        """Build a transaction from already-selected requests and price it."""
+        """Build a transaction from already-selected requests and price it.
+
+        Classification (dies/planes touched), bus pricing, cell pricing and
+        die-activity accounting are all derived from one walk over the
+        requests - the hot path builds one transaction per chip activation,
+        and the previous five separate passes were a measurable cost.
+        """
         requests = list(requests)
         if not requests:
             raise ValueError("cannot build an empty transaction")
-        num_dies = len({req.address.die for req in requests})
+        timing = self.timing
+        read_ns = timing.read_ns
+        erase_ns = timing.erase_ns
+        program_ns = self._program_ns
+        bus_per_size = self._bus_ns
         planes_per_die: Dict[int, set] = {}
+        per_die_latency: Dict[int, int] = {}
+        bus_ns = 0
+        penalty_ns = 0
+        all_erase = True
+        all_gc = True
+        has_program = False
         for req in requests:
-            planes_per_die.setdefault(req.address.die, set()).add(req.address.plane)
+            address = req.address
+            die = address.die
+            op = req.op
+            planes = planes_per_die.get(die)
+            if planes is None:
+                planes_per_die[die] = {address.plane}
+            else:
+                planes.add(address.plane)
+            # Cell occupancy: die cell activities overlap (die interleaving)
+            # and the planes of one die fire together under the multiplane
+            # command, so only the slowest per-die operation matters.
+            moves_data = True
+            if op is FlashOp.READ:
+                latency = read_ns
+                all_erase = False
+            elif op is FlashOp.PROGRAM:
+                has_program = True
+                all_erase = False
+                page = address.page
+                latency = program_ns.get(page)
+                if latency is None:
+                    latency = program_ns[page] = timing.program_latency_ns(page)
+            else:
+                latency = erase_ns
+                moves_data = op.moves_data
+            if latency > per_die_latency.get(die, 0):
+                per_die_latency[die] = latency
+            if moves_data:
+                size = req.size_bytes
+                per_request = bus_per_size.get(size)
+                if per_request is None:
+                    per_request = bus_per_size[size] = timing.request_bus_time_ns(size)
+                bus_ns += per_request
+            penalty_ns += req.penalty_ns
+            if not req.is_gc:
+                all_gc = False
         max_planes = max(len(planes) for planes in planes_per_die.values())
-        parallelism = classify_parallelism(num_dies, max_planes)
-        kind = kind_for_parallelism(parallelism)
-        if all(req.op is FlashOp.ERASE for req in requests):
-            kind = TransactionKind.ERASE
+        parallelism = classify_parallelism(len(planes_per_die), max_planes)
+        kind = TransactionKind.ERASE if all_erase else kind_for_parallelism(parallelism)
         transaction = FlashTransaction(
             chip_key=chip_key,
             requests=requests,
             kind=kind,
             parallelism=parallelism,
         )
-        transaction.bus_time_ns = self._bus_time_ns(transaction)
-        transaction.cell_time_ns = self._cell_time_ns(transaction)
-        transaction.is_gc = all(req.is_gc for req in requests)
+        transaction.bus_time_ns = timing.transaction_overhead_ns + bus_ns
+        transaction.cell_time_ns = max(per_die_latency.values()) + penalty_ns
+        transaction.die_active_time_ns = sum(per_die_latency.values())
+        transaction.has_program = has_program
+        transaction.is_gc = all_gc
         return transaction
 
     def build_from_pending(
@@ -235,30 +310,3 @@ class TransactionBuilder:
             return None
         return self.build(chip_key, selected)
 
-    # ------------------------------------------------------------------
-    # Timing
-    # ------------------------------------------------------------------
-    def _bus_time_ns(self, transaction: FlashTransaction) -> int:
-        """Channel occupancy: per-request command + data cycles, serialised."""
-        per_request = sum(
-            self.timing.request_bus_time_ns(req.size_bytes)
-            for req in transaction.requests
-            if req.op.moves_data
-        )
-        return self.timing.transaction_overhead_ns + per_request
-
-    def _cell_time_ns(self, transaction: FlashTransaction) -> int:
-        """Array occupancy of the transaction.
-
-        Cell activities of different dies overlap (die interleaving) and the
-        planes of one die are activated together by the multiplane command,
-        so the cell time is the maximum over dies of the slowest per-die
-        operation.
-        """
-        per_die: Dict[int, int] = {}
-        for req in transaction.requests:
-            latency = self.timing.cell_latency_ns(req.op, req.address.page)
-            die = req.address.die
-            per_die[die] = max(per_die.get(die, 0), latency)
-        penalty = sum(req.penalty_ns for req in transaction.requests)
-        return max(per_die.values()) + penalty

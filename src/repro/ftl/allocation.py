@@ -19,7 +19,7 @@ import enum
 import itertools
 from typing import Dict, Iterator, Optional, Sequence
 
-from repro.flash.chip import FlashChip
+from repro.flash.chip import FlashChip, planes_by_key
 from repro.flash.geometry import PhysicalPageAddress, SSDGeometry
 
 
@@ -63,6 +63,13 @@ class PageAllocator:
         self.order = order
         self._plane_sequence = list(self._iter_plane_keys())
         self._cursor = 0
+        # Hot-path constants (static_address runs once per translated read).
+        self._num_planes = len(self._plane_sequence)
+        self._pages_per_plane = geometry.pages_per_plane
+        self._pages_per_block = geometry.pages_per_block
+        # Direct plane lookup: allocation runs once per page write (see
+        # repro.flash.chip.planes_by_key).
+        self._planes_by_key = planes_by_key(chips)
 
     # ------------------------------------------------------------------
     # Plane traversal
@@ -117,15 +124,11 @@ class PageAllocator:
         """
         if lpn < 0:
             raise ValueError("lpn must be non-negative")
-        num_planes = len(self._plane_sequence)
-        stripe, within_plane = lpn % num_planes, lpn // num_planes
+        stripe, within_plane = lpn % self._num_planes, lpn // self._num_planes
         channel, chip, die, plane = self._plane_sequence[stripe]
-        pages_per_plane = self.geometry.pages_per_plane
-        within_plane %= pages_per_plane
-        block, page = divmod(within_plane, self.geometry.pages_per_block)
-        return PhysicalPageAddress(
-            channel=channel, chip=chip, die=die, plane=plane, block=block, page=page
-        )
+        within_plane %= self._pages_per_plane
+        block, page = divmod(within_plane, self._pages_per_block)
+        return PhysicalPageAddress(channel, chip, die, plane, block, page)
 
     # ------------------------------------------------------------------
     # Dynamic allocation
@@ -153,9 +156,7 @@ class PageAllocator:
         raise RuntimeError("SSD is out of free pages; garbage collection cannot keep up")
 
     def _allocate_in_plane(self, plane_key: tuple) -> Optional[PhysicalPageAddress]:
-        channel, chip, die, plane = plane_key
-        chip_obj = self.chips[(channel, chip)]
-        plane_obj = chip_obj.plane(die, plane)
+        plane_obj = self._planes_by_key[plane_key]
         # Ask the plane directly instead of pre-scanning free_pages: the
         # common case (active block has room) is O(1), and a full plane
         # reports itself via RuntimeError.  The free_pages scan was the
@@ -164,9 +165,8 @@ class PageAllocator:
             block, page = plane_obj.allocate_page()
         except RuntimeError:
             return None
-        return PhysicalPageAddress(
-            channel=channel, chip=chip, die=die, plane=plane, block=block, page=page
-        )
+        channel, chip, die, plane = plane_key
+        return PhysicalPageAddress(channel, chip, die, plane, block, page)
 
     def free_pages(self) -> int:
         """Total number of free pages across the SSD."""

@@ -10,8 +10,8 @@ factory-marked bad blocks (configured up front) and grown bad blocks
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.flash.chip import FlashChip
 from repro.flash.geometry import PhysicalPageAddress, SSDGeometry

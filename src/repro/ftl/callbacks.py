@@ -20,8 +20,8 @@ stale (so the penalty model of the simulator can charge them).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List
 
 from repro.flash.controller import FlashController
 from repro.flash.geometry import PhysicalPageAddress
@@ -82,10 +82,15 @@ class ReaddressingCallback:
         bucket = self._pending_index.get(request.address)
         if not bucket:
             return
-        self._pending_index[request.address] = [
-            req for req in bucket if req.request_id != request.request_id
-        ]
-        if not self._pending_index[request.address]:
+        # Delete in place instead of rebuilding the bucket: untrack runs once
+        # per retired memory request, and the rebuild churned a fresh list
+        # (plus a second dict lookup) every time.
+        request_id = request.request_id
+        for index, req in enumerate(bucket):
+            if req.request_id == request_id:
+                del bucket[index]
+                break
+        if not bucket:
             del self._pending_index[request.address]
 
     # ------------------------------------------------------------------
@@ -96,7 +101,7 @@ class ReaddressingCallback:
     ) -> None:
         """FTL listener: a live page moved from ``old`` to ``new``."""
         self.stats.migrations_observed += 1
-        if old.plane_key != new.plane_key:
+        if not old.same_plane_as(new):
             self.stats.cross_resource_migrations += 1
         for listener in self._extra_listeners:
             listener(lpn, old, new)

@@ -14,10 +14,10 @@ simulator turns the returned :class:`GCJob` into chip occupancy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.flash.chip import FlashChip
+from repro.flash.chip import FlashChip, planes_by_key
 from repro.flash.geometry import PhysicalPageAddress, SSDGeometry
 from repro.flash.timing import FlashTiming
 from repro.ftl.mapping import PageMapFTL
@@ -84,6 +84,9 @@ class GarbageCollector:
         self.chips = chips
         self.free_block_watermark = max(1, free_block_watermark)
         self.enabled = enabled
+        #: Direct plane lookup - the GC trigger runs once per host page
+        #: write (see :func:`repro.flash.chip.planes_by_key`).
+        self._planes = planes_by_key(chips)
         self.stats = GCStats()
         #: Ordered log of every collection pass as
         #: ``(chip_key, die, plane, victim_block, pages_moved)`` - the GC job
@@ -122,7 +125,9 @@ class GarbageCollector:
     # ------------------------------------------------------------------
     # Collection
     # ------------------------------------------------------------------
-    def collect(self, chip_key: tuple, die: int, plane: int) -> Optional[GCJob]:
+    def collect(
+        self, chip_key: tuple, die: int, plane: int, victim=None
+    ) -> Optional[GCJob]:
         """Run one GC pass on a plane: migrate valid pages, erase the victim.
 
         Returns ``None`` when there is no eligible victim.  All FTL and block
@@ -132,26 +137,37 @@ class GarbageCollector:
         Victim selection is deterministic (greedy on valid-page count,
         ties broken on the lowest block id - see
         :meth:`repro.flash.plane.Plane.greedy_victim`), and every pass is
-        appended to :attr:`history`.
+        appended to :attr:`history`.  ``victim`` lets a caller that already
+        ran the selection (the trigger check) pass its result in instead of
+        scanning the candidate blocks a second time.
         """
         chip = self.chips[chip_key]
         plane_obj = chip.plane(die, plane)
-        victim = plane_obj.greedy_victim()
+        if victim is None:
+            victim = plane_obj.greedy_victim()
         if victim is None:
             return None
         channel, chip_idx = chip_key
         moves: List[Tuple[PhysicalPageAddress, PhysicalPageAddress]] = []
         migrated: List[int] = []
         duration = 0
-        for page in range(victim.pages_per_block):
-            if not victim.is_valid(page):
-                continue
+        read_ns = self.timing.read_latency_ns()
+        plane_key = (channel, chip_idx, die, plane)
+        block_id = victim.block_id
+        # Walk only the set bits of the valid mask (ascending page order,
+        # identical to scanning every page) - greedy victims are mostly
+        # invalid, so this skips the bulk of the block.
+        mask = victim.valid_mask
+        while mask:
+            low_bit = mask & -mask
+            mask ^= low_bit
+            page = low_bit.bit_length() - 1
             old_address = PhysicalPageAddress(
                 channel=channel,
                 chip=chip_idx,
                 die=die,
                 plane=plane,
-                block=victim.block_id,
+                block=block_id,
                 page=page,
             )
             lpn = self.ftl.reverse_lookup(old_address)
@@ -162,10 +178,10 @@ class GarbageCollector:
                 self.stats.orphaned_pages += 1
                 victim.invalidate(page)
                 continue
-            old, new = self.ftl.migrate_page(lpn, preferred_plane=(channel, chip_idx, die, plane))
+            old, new = self.ftl.migrate_page(lpn, preferred_plane=plane_key)
             moves.append((old, new))
             migrated.append(lpn)
-            duration += self.timing.read_latency_ns()
+            duration += read_ns
             duration += self.timing.program_latency_ns(new.page)
         self.ftl.erase_block(chip_key, die, plane, victim.block_id)
         duration += self.timing.erase_latency_ns()
@@ -202,6 +218,12 @@ class GarbageCollector:
         trigger), which keeps the write-amplification behaviour realistic
         instead of re-collecting every plane of a chip on every host write.
         """
-        if not self.plane_needs_gc(chip_key, die, plane):
+        if not self.enabled:
             return None
-        return self.collect(chip_key, die, plane)
+        plane_obj = self._planes[(chip_key[0], chip_key[1], die, plane)]
+        if plane_obj.free_blocks >= self.free_block_watermark:
+            return None
+        victim = plane_obj.greedy_victim()
+        if victim is None:
+            return None
+        return self.collect(chip_key, die, plane, victim=victim)

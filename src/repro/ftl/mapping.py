@@ -23,10 +23,10 @@ bookkeeping errand instead of a simulation campaign.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.flash.chip import FlashChip
+from repro.flash.chip import FlashChip, planes_by_key
 from repro.flash.geometry import PhysicalPageAddress, SSDGeometry
 from repro.ftl.allocation import AllocationOrder, PageAllocator
 
@@ -66,6 +66,9 @@ class PageMapFTL:
         self._plane_index: Dict[tuple, int] = {
             key: index for index, key in enumerate(self.allocator.plane_sequence)
         }
+        #: Direct plane lookup: the invalidation path runs once per
+        #: overwrite/migration (see :func:`repro.flash.chip.planes_by_key`).
+        self._planes = planes_by_key(chips)
         self.stats = FTLStats()
         self._migration_listeners: List[MigrationListener] = []
 
@@ -192,8 +195,7 @@ class PageMapFTL:
     # Invalidation and migration
     # ------------------------------------------------------------------
     def _invalidate_physical(self, address: PhysicalPageAddress) -> None:
-        chip = self.chips[address.chip_key]
-        plane = chip.plane(address.die, address.plane)
+        plane = self._planes[address[:4]]
         plane.blocks[address.block].invalidate(address.page)
         self._reverse.pop(address, None)
         self.stats.invalidations += 1
@@ -228,12 +230,14 @@ class PageMapFTL:
         block_obj = plane_obj.blocks[block]
         # Drop reverse mappings of any straggler pages (there should be none
         # after migration, but stale entries must never survive an erase).
+        # Plain tuples hash and compare equal to PhysicalPageAddress (a
+        # NamedTuple), so the sweep probes the reverse map without
+        # constructing one address object per page.
         channel, chip_idx = chip_key
+        reverse_pop = self._reverse.pop
         for page in range(block_obj.pages_per_block):
-            address = PhysicalPageAddress(
-                channel=channel, chip=chip_idx, die=die, plane=plane, block=block, page=page
-            )
-            lpn = self._reverse.pop(address, None)
+            address = (channel, chip_idx, die, plane, block, page)
+            lpn = reverse_pop(address, None)
             if lpn is not None and self._map.get(lpn) == address:
                 del self._map[lpn]
         if self._base_live:

@@ -41,19 +41,28 @@ def wear_stats(chips: Dict[tuple, FlashChip]) -> WearStats:
     :class:`WearLeveler` (levelling policy and wear *measurement* are
     independent concerns).
     """
-    counts: List[int] = []
+    lowest: Optional[int] = None
+    highest = 0
+    total = 0
+    blocks = 0
     for chip in chips.values():
         for plane in chip.iter_planes():
             for block in plane.blocks:
-                if not block.is_bad:
-                    counts.append(block.erase_count)
-    if not counts:
+                if block.is_bad:
+                    continue
+                count = block.erase_count
+                blocks += 1
+                total += count
+                if lowest is None or count < lowest:
+                    lowest = count
+                if count > highest:
+                    highest = count
+    if blocks == 0 or lowest is None:
         return WearStats(0, 0, 0.0, 0)
-    total = sum(counts)
     return WearStats(
-        min_erase_count=min(counts),
-        max_erase_count=max(counts),
-        mean_erase_count=total / len(counts),
+        min_erase_count=lowest,
+        max_erase_count=highest,
+        mean_erase_count=total / blocks,
         total_erases=total,
     )
 

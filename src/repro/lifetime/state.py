@@ -37,7 +37,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.flash.geometry import PhysicalPageAddress, SSDGeometry
+from repro.flash.geometry import SSDGeometry
 from repro.ftl.mapping import PageMapFTL
 from repro.workloads.request import IOKind, IORequest
 

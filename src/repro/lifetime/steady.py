@@ -20,7 +20,7 @@ seconds, and the resulting device state is deterministic for the seed.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.ftl.garbage_collector import GarbageCollector

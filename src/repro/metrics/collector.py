@@ -7,12 +7,11 @@ final chip/channel statistics - into a :class:`~repro.metrics.report.SimulationR
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.flash.channel import Channel
 from repro.flash.chip import FlashChip
-from repro.flash.commands import ParallelismClass
 from repro.flash.transaction import FlashTransaction
 from repro.metrics.breakdown import ExecutionBreakdown
 from repro.metrics.latency import LatencyStats
@@ -37,7 +36,15 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.latency = LatencyStats()
         self.flp = FLPBreakdown()
-        self.time_series: List[TimeSeriesPoint] = []
+        # Completion history as append-only parallel arrays.  One
+        # TimeSeriesPoint object per completion (the previous layout) paid a
+        # dataclass construction on the hot completion path; the point
+        # objects are now only materialised once, when the final report is
+        # assembled (see :attr:`time_series`).
+        self._ts_io_id: List[int] = []
+        self._ts_arrival_ns: List[int] = []
+        self._ts_completion_ns: List[int] = []
+        self._ts_latency_ns: List[int] = []
         self.total_bytes = 0
         self.read_bytes = 0
         self.write_bytes = 0
@@ -62,16 +69,13 @@ class MetricsCollector:
 
     def on_io_complete(self, io: IORequest, now_ns: int) -> None:
         """Record a fully-served host request."""
-        latency = now_ns - io.arrival_ns
+        arrival = io.arrival_ns
+        latency = now_ns - arrival
         self.latency.add(latency)
-        self.time_series.append(
-            TimeSeriesPoint(
-                io_id=io.io_id,
-                arrival_ns=io.arrival_ns,
-                completion_ns=now_ns,
-                latency_ns=latency,
-            )
-        )
+        self._ts_io_id.append(io.io_id)
+        self._ts_arrival_ns.append(arrival)
+        self._ts_completion_ns.append(now_ns)
+        self._ts_latency_ns.append(latency)
         self.total_bytes += io.size_bytes
         self.completed_ios += 1
         if io.is_write:
@@ -100,6 +104,24 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     # Finalisation
     # ------------------------------------------------------------------
+    @property
+    def time_series(self) -> List[TimeSeriesPoint]:
+        """Latency of each completed I/O, in completion order (Figure 12)."""
+        return [
+            TimeSeriesPoint(
+                io_id=io_id,
+                arrival_ns=arrival_ns,
+                completion_ns=completion_ns,
+                latency_ns=latency_ns,
+            )
+            for io_id, arrival_ns, completion_ns, latency_ns in zip(
+                self._ts_io_id,
+                self._ts_arrival_ns,
+                self._ts_completion_ns,
+                self._ts_latency_ns,
+            )
+        ]
+
     @property
     def makespan_ns(self) -> int:
         """Observation window: first arrival to last completion."""

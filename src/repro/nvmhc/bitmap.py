@@ -12,7 +12,7 @@ the host.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 
 class CompletionBitmap:

@@ -11,7 +11,7 @@ Figure 10d.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.nvmhc.tag import Tag

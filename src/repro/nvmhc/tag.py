@@ -18,7 +18,7 @@ from repro.flash.request import MemoryRequest
 from repro.workloads.request import IORequest
 
 
-@dataclass
+@dataclass(slots=True)
 class Tag:
     """Device-queue entry wrapping one host I/O request."""
 

@@ -1,0 +1,126 @@
+"""``python -m repro.perf`` - record, compare and list benchmark trajectories."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.perf.compare import DEFAULT_THRESHOLD, compare_trajectories
+from repro.perf.record import (
+    BENCH_ID,
+    load_trajectory,
+    record_trajectory,
+    write_trajectory,
+)
+from repro.perf.suite import SUITE_SCALES, canonical_suite
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Benchmark-trajectory tooling: record and compare simulator throughput.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="run the canonical suite and write a trajectory")
+    rec.add_argument("--scale", choices=SUITE_SCALES, default="quick")
+    rec.add_argument(
+        "-o", "--output", default=f"{BENCH_ID}.json", help="trajectory file to write"
+    )
+    rec.add_argument(
+        "--case",
+        action="append",
+        default=None,
+        help="restrict to the named case(s); repeatable",
+    )
+    rec.add_argument(
+        "--note",
+        action="append",
+        default=None,
+        help="key=value metadata stamped into the trajectory; repeatable",
+    )
+    rec.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run each case N times and report the fastest pass (default 1)",
+    )
+
+    cmp_ = sub.add_parser("compare", help="diff a current trajectory against a baseline")
+    cmp_.add_argument("baseline", help="baseline trajectory JSON")
+    cmp_.add_argument("current", help="current trajectory JSON")
+    cmp_.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="tolerated events/sec regression fraction (default %(default)s)",
+    )
+    cmp_.add_argument(
+        "--require-identical",
+        action="store_true",
+        help="also fail when result digests differ (behaviour-preservation gate)",
+    )
+
+    lst = sub.add_parser("list", help="show the canonical suite")
+    lst.add_argument("--scale", choices=SUITE_SCALES, default="quick")
+    return parser
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    cases = None
+    if args.case:
+        by_name = {case.name: case for case in canonical_suite(args.scale)}
+        unknown = [name for name in args.case if name not in by_name]
+        if unknown:
+            print(f"unknown case(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        cases = [by_name[name] for name in args.case]
+    meta = {}
+    for note in args.note or ():
+        key, _, value = note.partition("=")
+        meta[key] = value
+    trajectory = record_trajectory(args.scale, cases=cases, meta=meta, repeat=args.repeat)
+    path = write_trajectory(trajectory, args.output)
+    for case in trajectory.cases:
+        print(
+            f"{case.name:<10} {case.events:>9} events  {case.sim_wall_s:>8.3f}s  "
+            f"{case.events_per_sec:>12.1f} ev/s  rss {case.peak_rss_kb} KiB"
+        )
+    print(
+        f"wrote {path} ({len(trajectory.cases)} cases, "
+        f"{trajectory.overall_events_per_sec:.1f} ev/s overall)"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    baseline = load_trajectory(args.baseline)
+    current = load_trajectory(args.current)
+    comparison = compare_trajectories(
+        baseline,
+        current,
+        threshold=args.threshold,
+        require_identical=args.require_identical,
+    )
+    print(comparison.report())
+    return 0 if comparison.ok else 1
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for case in canonical_suite(args.scale):
+        print(f"{case.name:<10} {len(case.jobs):>3} job(s)  {case.description}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "record":
+        return _cmd_record(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    return _cmd_list(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,167 @@
+"""Compare two benchmark trajectories with a regression threshold.
+
+The comparison is case-by-case on events/sec.  A case *regresses* when the
+current run processes events more than ``threshold`` slower than the
+baseline (strict inequality: landing exactly on the threshold passes, so a
+"25% threshold" genuinely tolerates a 25% dip).  Cases present in the
+baseline but absent from the current trajectory are failures too - a
+regression cannot be hidden by deleting its case.
+
+Comparability is checked before arithmetic: a case whose workload
+fingerprint changed between the two files is reported as ``incomparable``
+rather than silently diffed, and (optionally) result digests can be required
+to match, turning the comparison into a behaviour-preservation gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.perf.record import Trajectory
+
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class CaseDelta:
+    """Events/sec movement of one case between two trajectories."""
+
+    name: str
+    baseline_eps: float
+    current_eps: float
+    comparable: bool
+    digests_match: bool
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline events-per-second (1.0 = unchanged)."""
+        if self.baseline_eps <= 0.0:
+            return 0.0
+        return self.current_eps / self.baseline_eps
+
+    def regressed(self, threshold: float) -> bool:
+        """True when the case got more than ``threshold`` slower."""
+        return self.current_eps < self.baseline_eps * (1.0 - threshold)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of diffing two trajectories."""
+
+    threshold: float
+    deltas: Tuple[CaseDelta, ...]
+    missing: Tuple[str, ...]
+    new: Tuple[str, ...]
+    require_identical: bool = False
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def regressions(self) -> Tuple[CaseDelta, ...]:
+        return tuple(d for d in self.deltas if d.comparable and d.regressed(self.threshold))
+
+    @property
+    def incomparable(self) -> Tuple[CaseDelta, ...]:
+        return tuple(d for d in self.deltas if not d.comparable)
+
+    @property
+    def digest_mismatches(self) -> Tuple[CaseDelta, ...]:
+        return tuple(d for d in self.deltas if d.comparable and not d.digests_match)
+
+    @property
+    def ok(self) -> bool:
+        """True when the current trajectory passes the gate."""
+        if self.missing or self.regressions or self.incomparable:
+            return False
+        if self.require_identical and self.digest_mismatches:
+            return False
+        return True
+
+    @property
+    def overall_ratio(self) -> float:
+        """Aggregate events/sec ratio over the comparable cases."""
+        base = sum(d.baseline_eps for d in self.deltas if d.comparable)
+        curr = sum(d.current_eps for d in self.deltas if d.comparable)
+        if base <= 0.0:
+            return 0.0
+        return curr / base
+
+    def report(self) -> str:
+        """Human-readable multi-line summary."""
+        lines: List[str] = [
+            f"perf comparison (threshold {self.threshold:.0%} events/sec regression)"
+        ]
+        for delta in self.deltas:
+            if not delta.comparable:
+                status = "INCOMPARABLE (workload fingerprint changed)"
+            elif delta.regressed(self.threshold):
+                status = "REGRESSED"
+            else:
+                status = "ok"
+            identity = "identical" if delta.digests_match else "results differ"
+            lines.append(
+                f"  {delta.name:<10} {delta.baseline_eps:>12.1f} -> "
+                f"{delta.current_eps:>12.1f} ev/s  ({delta.ratio:5.2f}x, {identity})  {status}"
+            )
+        for name in self.missing:
+            lines.append(f"  {name:<10} MISSING from current trajectory")
+        for name in self.new:
+            lines.append(f"  {name:<10} new case (no baseline; not gated)")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        lines.append(
+            f"overall: {self.overall_ratio:.2f}x events/sec vs baseline -> "
+            f"{'PASS' if self.ok else 'FAIL'}"
+        )
+        return "\n".join(lines)
+
+
+def compare_trajectories(
+    baseline: Trajectory,
+    current: Trajectory,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    require_identical: bool = False,
+) -> Comparison:
+    """Diff ``current`` against ``baseline`` case by case."""
+    if not 0.0 <= threshold < 1.0:
+        raise ValueError("threshold must be in [0, 1)")
+    notes: List[str] = []
+    if baseline.scale != current.scale:
+        notes.append(
+            f"suite scales differ (baseline {baseline.scale!r}, current {current.scale!r})"
+        )
+    current_by_name = {case.name: case for case in current.cases}
+    deltas: List[CaseDelta] = []
+    missing: List[str] = []
+    for base_case in baseline.cases:
+        case = current_by_name.pop(base_case.name, None)
+        if case is None:
+            missing.append(base_case.name)
+            continue
+        comparable = (
+            not base_case.fingerprint
+            or not case.fingerprint
+            or base_case.fingerprint == case.fingerprint
+        )
+        digests_match = (
+            bool(base_case.result_digest)
+            and base_case.result_digest == case.result_digest
+        )
+        deltas.append(
+            CaseDelta(
+                name=base_case.name,
+                baseline_eps=base_case.events_per_sec,
+                current_eps=case.events_per_sec,
+                comparable=comparable,
+                digests_match=digests_match,
+            )
+        )
+    return Comparison(
+        threshold=threshold,
+        deltas=tuple(deltas),
+        missing=tuple(missing),
+        new=tuple(current_by_name.keys()),
+        require_identical=require_identical,
+        notes=tuple(notes),
+    )

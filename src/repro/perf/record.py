@@ -1,0 +1,246 @@
+"""Record a benchmark trajectory: run the suite, measure, emit JSON.
+
+A *trajectory* is the unit of performance history: one JSON document holding,
+for every case of the canonical suite, the wall time spent inside the event
+loop, the number of discrete events processed, the derived events/sec, the
+peak resident set size, and a content digest of every simulation result.
+
+The digest is the load-bearing half: an optimization that changes any field
+of any :class:`~repro.metrics.report.SimulationResult` changes the digest, so
+"2x faster" claims carry their own bit-identity proof.  The comparison tool
+(:mod:`repro.perf.compare`) refuses to attribute a speedup to a case whose
+workload fingerprint changed, and can additionally require digests to match.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.perf.suite import PerfCase, canonical_suite
+from repro.sim.config import stable_fingerprint
+from repro.sim.ssd import SSDSimulator
+
+#: Trajectory document schema.  Bump on any incompatible change to the JSON
+#: layout; ``load_trajectory`` rejects documents from a different major
+#: schema instead of mis-reading them.
+SCHEMA_VERSION = 1
+
+#: File-name stem of the committed trajectory for this PR sequence.
+BENCH_ID = "BENCH_5"
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process, in KiB (Linux semantics)."""
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    if sys.platform == "darwin":  # pragma: no cover - CI runs Linux
+        return usage // 1024
+    return usage
+
+
+@dataclass(frozen=True)
+class CaseRecord:
+    """Measured numbers for one suite case."""
+
+    name: str
+    description: str
+    fingerprint: str
+    jobs: int
+    ios_completed: int
+    events: int
+    #: Wall time of the whole case: workload build + simulator construction
+    #: (including any preconditioning) + the event loop.
+    wall_s: float
+    #: Wall time spent inside ``SSDSimulator.run`` only - the event loop.
+    sim_wall_s: float
+    events_per_sec: float
+    #: Process-wide resident-set high-water mark (KiB) observed *by the end
+    #: of* this case.  ``ru_maxrss`` is monotonic over the process lifetime,
+    #: so within one recording run the values are cumulative: a case can
+    #: only raise the number, never lower it.  Compare like positions
+    #: across trajectories (the suite order is fixed), not cases within one.
+    peak_rss_kb: int
+    #: Stable content digest over every SimulationResult of the case, in job
+    #: order.  Equal digests mean bit-identical results.
+    result_digest: str
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """One recorded pass over the suite."""
+
+    schema_version: int
+    bench_id: str
+    scale: str
+    python: str
+    platform: str
+    cases: Tuple[CaseRecord, ...]
+    meta: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def total_events(self) -> int:
+        return sum(case.events for case in self.cases)
+
+    @property
+    def total_sim_wall_s(self) -> float:
+        return sum(case.sim_wall_s for case in self.cases)
+
+    @property
+    def overall_events_per_sec(self) -> float:
+        wall = self.total_sim_wall_s
+        if wall <= 0.0:
+            return 0.0
+        return self.total_events / wall
+
+    def case(self, name: str) -> Optional[CaseRecord]:
+        for case in self.cases:
+            if case.name == name:
+                return case
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "bench_id": self.bench_id,
+            "scale": self.scale,
+            "python": self.python,
+            "platform": self.platform,
+            "meta": dict(self.meta),
+            "cases": [asdict(case) for case in self.cases],
+            "summary": {
+                "total_events": self.total_events,
+                "total_sim_wall_s": round(self.total_sim_wall_s, 6),
+                "overall_events_per_sec": round(self.overall_events_per_sec, 1),
+            },
+        }
+
+
+def _run_case_once(case: PerfCase) -> CaseRecord:
+    events = 0
+    ios = 0
+    sim_wall = 0.0
+    results = []
+    start = time.perf_counter()
+    for job in case.jobs:
+        workload = job.workload.build()
+        simulator = SSDSimulator(job.config, job.scheduler, scheduler_options=job.options_dict)
+        run_start = time.perf_counter()
+        result = simulator.run(workload, workload_name=job.workload.name)
+        sim_wall += time.perf_counter() - run_start
+        events += simulator.events.processed
+        ios += result.completed_ios
+        results.append(result)
+    wall = time.perf_counter() - start
+    digest = stable_fingerprint(("perf-results", tuple(results)))
+    return CaseRecord(
+        name=case.name,
+        description=case.description,
+        fingerprint=case.fingerprint(),
+        jobs=len(case.jobs),
+        ios_completed=ios,
+        events=events,
+        wall_s=round(wall, 6),
+        sim_wall_s=round(sim_wall, 6),
+        events_per_sec=round(events / sim_wall, 1) if sim_wall > 0 else 0.0,
+        peak_rss_kb=_peak_rss_kb(),
+        result_digest=digest,
+    )
+
+
+def run_case(case: PerfCase, *, repeat: int = 1) -> CaseRecord:
+    """Execute one suite case serially and measure it.
+
+    Jobs run exactly the way :meth:`repro.experiments.spec.SimJob.execute`
+    runs them, but with the simulator instance kept in reach so the event
+    counter (``SSDSimulator.events.processed``) can be read afterwards.
+
+    With ``repeat > 1`` the case runs several times and the *fastest* pass
+    is reported (standard best-of-N to suppress scheduler/allocator noise);
+    the runs must agree on the result digest, which a noisy machine cannot
+    fake.
+    """
+    if repeat <= 0:
+        raise ValueError("repeat must be positive")
+    best: Optional[CaseRecord] = None
+    for _ in range(repeat):
+        record = _run_case_once(case)
+        if best is not None and record.result_digest != best.result_digest:
+            raise RuntimeError(
+                f"case {case.name!r}: repeated runs produced different results"
+            )
+        if best is None or record.sim_wall_s < best.sim_wall_s:
+            best = record
+    assert best is not None
+    return best
+
+
+def record_trajectory(
+    scale: str = "quick",
+    *,
+    cases: Optional[Sequence[PerfCase]] = None,
+    meta: Optional[Dict[str, str]] = None,
+    repeat: int = 1,
+) -> Trajectory:
+    """Run the canonical suite (or an explicit case list) and collect records."""
+    suite = tuple(cases) if cases is not None else canonical_suite(scale)
+    records = tuple(run_case(case, repeat=repeat) for case in suite)
+    return Trajectory(
+        schema_version=SCHEMA_VERSION,
+        bench_id=BENCH_ID,
+        scale=scale,
+        python=platform.python_version(),
+        platform=platform.platform(),
+        cases=records,
+        meta=dict(meta or {}),
+    )
+
+
+def write_trajectory(trajectory: Trajectory, path: Union[str, Path]) -> Path:
+    """Serialise a trajectory to ``path`` as indented, sorted JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(trajectory.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_trajectory(path: Union[str, Path]) -> Trajectory:
+    """Parse a trajectory file, validating its schema version."""
+    document = json.loads(Path(path).read_text())
+    version = document.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: trajectory schema {version!r} is not supported "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    cases: List[CaseRecord] = []
+    for raw in document.get("cases", []):
+        cases.append(
+            CaseRecord(
+                name=raw["name"],
+                description=raw.get("description", ""),
+                fingerprint=raw.get("fingerprint", ""),
+                jobs=int(raw.get("jobs", 0)),
+                ios_completed=int(raw.get("ios_completed", 0)),
+                events=int(raw["events"]),
+                wall_s=float(raw["wall_s"]),
+                sim_wall_s=float(raw["sim_wall_s"]),
+                events_per_sec=float(raw["events_per_sec"]),
+                peak_rss_kb=int(raw.get("peak_rss_kb", 0)),
+                result_digest=raw.get("result_digest", ""),
+            )
+        )
+    return Trajectory(
+        schema_version=version,
+        bench_id=document.get("bench_id", BENCH_ID),
+        scale=document.get("scale", "quick"),
+        python=document.get("python", ""),
+        platform=document.get("platform", ""),
+        cases=tuple(cases),
+        meta=dict(document.get("meta", {})),
+    )

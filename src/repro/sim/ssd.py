@@ -24,14 +24,14 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import replace
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, Optional, Sequence
 
 from repro.core.policies import make_scheduler
 from repro.core.scheduler import SchedulerBase, SchedulerContext
 from repro.flash.channel import Channel
 from repro.flash.chip import FlashChip
 from repro.flash.commands import FlashOp, ParallelismClass, TransactionKind
-from repro.flash.controller import FlashController, TransactionSchedule
+from repro.flash.controller import FlashController
 from repro.flash.geometry import PhysicalPageAddress
 from repro.flash.request import MemoryRequest
 from repro.flash.transaction import FlashTransaction, TransactionBuilder
@@ -159,21 +159,30 @@ class SSDSimulator:
         """Replay a workload to completion and return the measured result."""
         ordered = sorted(workload, key=lambda io: (io.arrival_ns, io.io_id))
         self._workload_size = len(ordered)
+        push = self.events.push
         for io in ordered:
-            self.events.push(io.arrival_ns, EventKind.IO_ARRIVAL, io)
-        while self.events:
-            event = self.events.pop()
-            self.now_ns = event.time_ns
-            if event.kind is EventKind.IO_ARRIVAL:
-                self._handle_arrival(event.payload)
-            elif event.kind is EventKind.COMPOSE_DONE:
-                self._handle_compose_done(event.payload)
-            elif event.kind is EventKind.TRANSACTION_DONE:
-                self._handle_transaction_done(event.payload)
-            elif event.kind is EventKind.TRANSACTION_DECISION:
-                self._handle_decision(event.payload)
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(f"unhandled event kind {event.kind}")
+            push(io.arrival_ns, EventKind.IO_ARRIVAL, io)
+        # Identity-test dispatch ordered by event frequency (compositions,
+        # then transaction lifecycle, then arrivals), with the kind
+        # constants and handler methods bound once outside the loop - no
+        # per-event enum hashing or attribute walks.
+        compose_done = EventKind.COMPOSE_DONE
+        transaction_done = EventKind.TRANSACTION_DONE
+        decision = EventKind.TRANSACTION_DECISION
+        handle_compose = self._handle_compose_done
+        handle_done = self._handle_transaction_done
+        handle_decision = self._handle_decision
+        handle_arrival = self._handle_arrival
+        for time_ns, _, kind, payload in self.events.drain():
+            self.now_ns = time_ns
+            if kind is compose_done:
+                handle_compose(payload)
+            elif kind is transaction_done:
+                handle_done(payload)
+            elif kind is decision:
+                handle_decision(payload)
+            else:
+                handle_arrival(payload)
         return self._build_result(workload_name)
 
     # ======================================================================
@@ -187,12 +196,12 @@ class SSDSimulator:
         self._pump()
 
     def _handle_compose_done(self, request: MemoryRequest) -> None:
-        controller = self.controllers[request.address.channel]
+        address = request.address
+        controller = self.controllers[address.channel]
         controller.commit(request, self.now_ns)
         self.callback.track_request(request)
         self._requests_composed += 1
-        chip_key = request.chip_key
-        self._maybe_schedule_decision(chip_key)
+        self._maybe_schedule_decision((address.channel, address.chip))
         self._pump()
 
     def _handle_decision(self, chip_key: tuple) -> None:
@@ -216,24 +225,37 @@ class SSDSimulator:
     def _admit_tag(self, tag: Tag) -> None:
         """Split the tag into memory requests and identify their layout."""
         io = tag.io
-        op = FlashOp.PROGRAM if io.is_write else FlashOp.READ
-        for lpn in io.logical_pages(self.geometry.page_size_bytes):
-            if io.is_write:
-                address = self.ftl.translate_write(lpn)
-                if self.config.gc_enabled:
+        is_write = io.is_write
+        op = FlashOp.PROGRAM if is_write else FlashOp.READ
+        io_id = io.io_id
+        page_size = self.geometry.page_size_bytes
+        translate_write = self.ftl.translate_write
+        translate_read = self.ftl.translate_read
+        gc_enabled = self.config.gc_enabled
+        requests = tag.memory_requests
+        by_chip = tag.by_chip
+        for lpn in io.logical_pages(page_size):
+            if is_write:
+                address = translate_write(lpn)
+                if gc_enabled:
                     self._collect_garbage(address)
             else:
-                address = self.ftl.translate_read(lpn)
+                address = translate_read(lpn)
             request = MemoryRequest(
-                io_id=io.io_id,
+                io_id=io_id,
                 op=op,
                 lpn=lpn,
-                size_bytes=self.geometry.page_size_bytes,
+                size_bytes=page_size,
                 address=address,
             )
-            tag.memory_requests.append(request)
-            tag.by_chip.setdefault(address.chip_key, []).append(request)
-        self._tags_by_io[io.io_id] = tag
+            requests.append(request)
+            chip_key = (address.channel, address.chip)
+            bucket = by_chip.get(chip_key)
+            if bucket is None:
+                by_chip[chip_key] = [request]
+            else:
+                bucket.append(request)
+        self._tags_by_io[io_id] = tag
         self.scheduler.register_tag(tag, self.now_ns)
 
     def _collect_garbage(self, address: PhysicalPageAddress) -> None:
@@ -249,16 +271,17 @@ class SSDSimulator:
     # ======================================================================
     def _pump(self) -> None:
         """Keep the composition pipeline busy while the scheduler has work."""
-        if self.dma.is_busy(self.now_ns):
+        now_ns = self.now_ns
+        if now_ns < self.dma.busy_until_ns:  # inline DmaEngine.is_busy
             return
-        request = self.scheduler.next_composition(self.now_ns)
+        request = self.scheduler.next_composition(now_ns)
         if request is None:
             return
-        request.composed_at_ns = self.now_ns
+        request.composed_at_ns = now_ns
         tag = self._tags_by_io.get(request.io_id)
         if tag is not None:
             tag.composed_count += 1
-        done_ns = self.dma.begin(self.now_ns, request.size_bytes)
+        done_ns = self.dma.begin(now_ns, request.size_bytes)
         self.events.push(done_ns, EventKind.COMPOSE_DONE, request)
 
     def _maybe_schedule_decision(self, chip_key: tuple) -> None:
@@ -335,13 +358,19 @@ class SSDSimulator:
     # Completion propagation
     # ======================================================================
     def _retire_requests(self, transaction: FlashTransaction) -> None:
+        # No untrack here: every host transaction passed through
+        # _try_start_chip, which already untracked its requests when they
+        # started executing - a second untrack per request was pure no-op
+        # bucket probing on the hottest completion path.
+        tags_by_io = self._tags_by_io
         for request in transaction.requests:
-            self.callback.untrack_request(request)
-            tag = self._tags_by_io.get(request.io_id)
+            tag = tags_by_io.get(request.io_id)
             if tag is None:
                 continue
-            tag.completed_count += 1
-            if tag.fully_completed:
+            completed = tag.completed_count + 1
+            tag.completed_count = completed
+            # Inline Tag.fully_completed (every request retires through here).
+            if completed >= len(tag.memory_requests) and tag.memory_requests:
                 self._complete_io(tag)
 
     def _complete_io(self, tag: Tag) -> None:

@@ -34,7 +34,7 @@ class IOKind(enum.Enum):
         return self is IOKind.WRITE
 
 
-@dataclass
+@dataclass(slots=True)
 class IORequest:
     """One host I/O request (a queue tag, in NVMHC terminology)."""
 

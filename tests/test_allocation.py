@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.flash.chip import FlashChip
 from repro.ftl.allocation import AllocationOrder, PageAllocator
 
 

@@ -1,6 +1,5 @@
 """Tests for the readdressing callback."""
 
-import pytest
 
 from repro.flash.commands import FlashOp
 from repro.flash.geometry import PhysicalPageAddress

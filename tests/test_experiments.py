@@ -17,7 +17,6 @@ from repro.experiments import (
     table01,
 )
 from repro.experiments.runner import clone_workload, default_trace_set, run_single, paper_config
-from repro.workloads.request import IORequest
 from repro.workloads.synthetic import generate_random_workload
 
 TINY = ExperimentScale(

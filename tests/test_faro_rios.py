@@ -1,6 +1,5 @@
 """Tests for the FARO priority policy and the RIOS traversal."""
 
-import pytest
 
 from repro.core.faro import FaroPolicy, connectivity, overlap_depth
 from repro.core.rios import RiosTraversal

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.flash.timing import FlashTiming
 from repro.ftl.garbage_collector import GarbageCollector
 from repro.ftl.mapping import PageMapFTL
 

@@ -1,0 +1,250 @@
+"""Tests for the benchmark-trajectory subsystem (``repro.perf``).
+
+Covers the three contract surfaces:
+
+* trajectory schema: write -> load round-trip, schema-version rejection;
+* comparison semantics: the exact-threshold edge, missing cases, improved
+  cases, fingerprint incomparability and the digest gate;
+* bit-identity: the tiny pinned-seed suite must reproduce the golden result
+  digests recorded *before* the hot-path optimization pass
+  (``tests/data/perf_golden.json``) - any semantic drift in the simulator
+  shows up here as a digest mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.perf.compare import compare_trajectories
+from repro.perf.record import (
+    SCHEMA_VERSION,
+    CaseRecord,
+    Trajectory,
+    load_trajectory,
+    run_case,
+    write_trajectory,
+)
+from repro.perf.suite import canonical_suite, tiny_suite
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "perf_golden.json"
+
+
+def make_case(
+    name: str,
+    eps: float,
+    *,
+    fingerprint: str = "fp",
+    digest: str = "digest",
+) -> CaseRecord:
+    return CaseRecord(
+        name=name,
+        description=f"case {name}",
+        fingerprint=fingerprint,
+        jobs=1,
+        ios_completed=10,
+        events=int(eps),
+        wall_s=1.0,
+        sim_wall_s=1.0,
+        events_per_sec=eps,
+        peak_rss_kb=1000,
+        result_digest=digest,
+    )
+
+
+def make_trajectory(*cases: CaseRecord, scale: str = "quick") -> Trajectory:
+    return Trajectory(
+        schema_version=SCHEMA_VERSION,
+        bench_id="BENCH_5",
+        scale=scale,
+        python="3.11.0",
+        platform="test",
+        cases=tuple(cases),
+    )
+
+
+class TestTrajectorySchema:
+    def test_round_trip(self, tmp_path):
+        trajectory = make_trajectory(make_case("a", 100.0), make_case("b", 200.0))
+        path = write_trajectory(trajectory, tmp_path / "t.json")
+        loaded = load_trajectory(path)
+        assert loaded.schema_version == SCHEMA_VERSION
+        assert loaded.bench_id == trajectory.bench_id
+        assert loaded.scale == trajectory.scale
+        assert loaded.cases == trajectory.cases
+
+    def test_summary_block_written(self, tmp_path):
+        trajectory = make_trajectory(make_case("a", 100.0), make_case("b", 300.0))
+        path = write_trajectory(trajectory, tmp_path / "t.json")
+        document = json.loads(path.read_text())
+        assert document["summary"]["total_events"] == trajectory.total_events
+        assert document["summary"]["overall_events_per_sec"] == pytest.approx(
+            trajectory.overall_events_per_sec, rel=1e-3
+        )
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        trajectory = make_trajectory(make_case("a", 100.0))
+        path = write_trajectory(trajectory, tmp_path / "t.json")
+        document = json.loads(path.read_text())
+        document["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="schema"):
+            load_trajectory(path)
+
+    def test_overall_events_per_sec(self):
+        trajectory = make_trajectory(make_case("a", 100.0), make_case("b", 300.0))
+        # Two cases of 1s each: (100 + 300) events over 2 seconds.
+        assert trajectory.overall_events_per_sec == pytest.approx(200.0)
+
+
+class TestCompareThresholds:
+    def test_exactly_at_threshold_passes(self):
+        baseline = make_trajectory(make_case("a", 1000.0))
+        current = make_trajectory(make_case("a", 750.0))
+        comparison = compare_trajectories(baseline, current, threshold=0.25)
+        assert not comparison.regressions
+        assert comparison.ok
+
+    def test_just_past_threshold_fails(self):
+        baseline = make_trajectory(make_case("a", 1000.0))
+        current = make_trajectory(make_case("a", 749.9))
+        comparison = compare_trajectories(baseline, current, threshold=0.25)
+        assert [d.name for d in comparison.regressions] == ["a"]
+        assert not comparison.ok
+
+    def test_improvement_passes(self):
+        baseline = make_trajectory(make_case("a", 1000.0))
+        current = make_trajectory(make_case("a", 2000.0))
+        comparison = compare_trajectories(baseline, current)
+        assert comparison.ok
+        assert comparison.deltas[0].ratio == pytest.approx(2.0)
+
+    def test_missing_case_fails(self):
+        baseline = make_trajectory(make_case("a", 1000.0), make_case("b", 1000.0))
+        current = make_trajectory(make_case("a", 1000.0))
+        comparison = compare_trajectories(baseline, current)
+        assert comparison.missing == ("b",)
+        assert not comparison.ok
+
+    def test_new_case_is_not_gated(self):
+        baseline = make_trajectory(make_case("a", 1000.0))
+        current = make_trajectory(make_case("a", 1000.0), make_case("b", 10.0))
+        comparison = compare_trajectories(baseline, current)
+        assert comparison.new == ("b",)
+        assert comparison.ok
+
+    def test_changed_fingerprint_is_incomparable(self):
+        baseline = make_trajectory(make_case("a", 1000.0, fingerprint="old"))
+        current = make_trajectory(make_case("a", 4000.0, fingerprint="new"))
+        comparison = compare_trajectories(baseline, current)
+        assert [d.name for d in comparison.incomparable] == ["a"]
+        assert not comparison.ok
+
+    def test_digest_gate_only_with_require_identical(self):
+        baseline = make_trajectory(make_case("a", 1000.0, digest="x"))
+        current = make_trajectory(make_case("a", 1000.0, digest="y"))
+        assert compare_trajectories(baseline, current).ok
+        comparison = compare_trajectories(baseline, current, require_identical=True)
+        assert [d.name for d in comparison.digest_mismatches] == ["a"]
+        assert not comparison.ok
+
+    def test_invalid_threshold_rejected(self):
+        baseline = make_trajectory(make_case("a", 1000.0))
+        with pytest.raises(ValueError):
+            compare_trajectories(baseline, baseline, threshold=1.0)
+
+    def test_report_mentions_every_case(self):
+        baseline = make_trajectory(make_case("a", 1000.0), make_case("b", 1000.0))
+        current = make_trajectory(make_case("a", 100.0), make_case("c", 1.0))
+        report = compare_trajectories(baseline, current).report()
+        for token in ("a", "b", "c", "REGRESSED", "MISSING", "FAIL"):
+            assert token in report
+
+
+class TestSuiteDefinitions:
+    def test_canonical_suite_shape(self):
+        suite = canonical_suite("quick")
+        names = [case.name for case in suite]
+        assert names == ["figure06", "transfer", "array4", "bursty", "aged", "gcheavy"]
+        assert all(case.jobs for case in suite)
+
+    def test_full_scale_grows_workloads(self):
+        quick = {case.name: case for case in canonical_suite("quick")}
+        full = {case.name: case for case in canonical_suite("full")}
+        assert quick.keys() == full.keys()
+        # Different request counts must change the case fingerprints.
+        for name in quick:
+            assert quick[name].fingerprint() != full[name].fingerprint()
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_suite("huge")
+
+    def test_case_fingerprints_are_stable(self):
+        first = {case.name: case.fingerprint() for case in canonical_suite("quick")}
+        second = {case.name: case.fingerprint() for case in canonical_suite("quick")}
+        assert first == second
+
+
+class TestBitIdentity:
+    """The optimized simulator must reproduce pre-optimization results."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN_PATH.read_text())["cases"]
+
+    @pytest.mark.parametrize("case_name", [case.name for case in tiny_suite()])
+    def test_tiny_case_matches_pre_optimization_golden(self, golden, case_name):
+        case = {c.name: c for c in tiny_suite()}[case_name]
+        record = run_case(case)
+        assert case_name in golden, "golden file is missing a tiny case"
+        expected = golden[case_name]
+        assert record.fingerprint == expected["fingerprint"], (
+            "tiny-suite workload recipe changed; bit-identity against the "
+            "golden digests is no longer meaningful - re-record the goldens "
+            "only together with an intentional semantics change"
+        )
+        assert record.result_digest == expected["result_digest"], (
+            f"simulation results of {case_name!r} diverged from the "
+            "pre-optimization golden digest"
+        )
+
+    def test_repeat_runs_are_deterministic(self):
+        case = tiny_suite()[0]
+        first = run_case(case)
+        second = run_case(case, repeat=2)
+        assert first.result_digest == second.result_digest
+        assert first.events == second.events
+
+
+class TestCommittedTrajectories:
+    """The committed BENCH files must parse and prove the 2x claim."""
+
+    def test_committed_files_load(self):
+        root = Path(__file__).resolve().parents[1]
+        baseline = load_trajectory(root / "BENCH_5_baseline.json")
+        current = load_trajectory(root / "BENCH_5.json")
+        assert {c.name for c in baseline.cases} == {c.name for c in current.cases}
+
+    def test_committed_speedup_at_least_2x(self):
+        root = Path(__file__).resolve().parents[1]
+        baseline = load_trajectory(root / "BENCH_5_baseline.json")
+        current = load_trajectory(root / "BENCH_5.json")
+        comparison = compare_trajectories(baseline, current, require_identical=True)
+        assert comparison.ok, comparison.report()
+        assert not comparison.digest_mismatches, "optimized results are not bit-identical"
+        ratio = current.overall_events_per_sec / baseline.overall_events_per_sec
+        assert ratio >= 2.0, f"committed trajectories show only {ratio:.2f}x"
+
+
+class TestRecordValidation:
+    def test_repeat_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_case(tiny_suite()[0], repeat=0)
+
+    def test_case_record_round_trips_through_replace(self):
+        record = make_case("a", 10.0)
+        assert replace(record, name="b").name == "b"
