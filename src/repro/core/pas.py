@@ -64,12 +64,15 @@ class PhysicalAddressScheduler(SchedulerBase):
                     self._current = tag
                     return request
         # Otherwise pick the first queued I/O whose chips are all free.
+        # Probe the controllers' busy sets directly: this loop runs for every
+        # chip of every queued I/O per composition, and the set containment
+        # is a C-level check where the method call was a Python frame.
         controllers = self.context.controllers
         for tag in pending:
             if self._has_fua_barrier(pending, tag):
                 break
             for chip_key in tag.by_chip:
-                if controllers[chip_key[0]].has_outstanding(chip_key):
+                if chip_key in controllers[chip_key[0]].busy:
                     break  # collision: try the next queued I/O
             else:
                 request = tag.next_uncomposed()
@@ -88,7 +91,8 @@ class PhysicalAddressScheduler(SchedulerBase):
 
     def _conflicts(self, tag: Tag) -> bool:
         """True when any chip targeted by the I/O still holds outstanding work."""
+        controllers = self.context.controllers
         for chip_key in tag.by_chip:
-            if self.context.chip_has_outstanding(chip_key):
+            if chip_key in controllers[chip_key[0]].busy:
                 return True
         return False

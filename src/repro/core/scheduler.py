@@ -103,6 +103,14 @@ class SchedulerBase(abc.ABC):
     ) -> None:
         """A chip finished a transaction (default: nothing to update)."""
 
+    #: Migration-listener contract: ``on_migration`` is a no-op for moves
+    #: that stay on the same plane (the paper only requires readdressing
+    #: when data moves between different flash internal resources).  The
+    #: readdressing callback batches same-plane GC copyback past listeners
+    #: that keep this True; a subclass whose ``on_migration`` reacts to
+    #: same-plane moves must override it with False.
+    migration_ignores_same_plane = True
+
     def on_migration(
         self, lpn: int, old: PhysicalPageAddress, new: PhysicalPageAddress
     ) -> None:

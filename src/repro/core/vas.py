@@ -53,8 +53,11 @@ class VirtualAddressScheduler(SchedulerBase):
 
     def _conflicts(self, tag: Tag) -> bool:
         """True when any chip targeted by the I/O still holds outstanding work."""
+        # Set containment against the controller's busy set instead of a
+        # has_outstanding call: this runs for every target chip of the head
+        # I/O on every composition attempt while VAS is blocked.
         controllers = self.context.controllers
         for chip_key in tag.by_chip:
-            if controllers[chip_key[0]].has_outstanding(chip_key):
+            if chip_key in controllers[chip_key[0]].busy:
                 return True
         return False

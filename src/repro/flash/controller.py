@@ -29,8 +29,7 @@ until its last phase completes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from repro.flash.channel import Channel
 from repro.flash.chip import FlashChip
@@ -39,9 +38,13 @@ from repro.flash.request import MemoryRequest
 from repro.flash.transaction import FlashTransaction, TransactionBuilder
 
 
-@dataclass
-class TransactionSchedule:
-    """Resolved timing of one transaction's phases."""
+class TransactionSchedule(NamedTuple):
+    """Resolved timing of one transaction's phases.
+
+    A NamedTuple rather than a dataclass: one is built per chip activation
+    and immediately consumed, and the tuple constructor is measurably
+    cheaper than dataclass ``__init__`` on that path.
+    """
 
     transaction: FlashTransaction
     issue_ns: int
@@ -67,6 +70,11 @@ class FlashController:
         self.builder = builder
         self.pending: Dict[tuple, List[MemoryRequest]] = {key: [] for key in chips}
         self.active: Dict[tuple, Optional[FlashTransaction]] = {key: None for key in chips}
+        #: Chips with committed or in-flight work, kept exactly in sync with
+        #: ``bool(pending[chip]) or active[chip] is not None``.  VAS/PAS probe
+        #: every target chip of every queued I/O per composition; a set
+        #: containment check replaces a method call on that path.
+        self.busy: set = set()
         self.total_committed = 0
         self.total_transactions = 0
 
@@ -80,6 +88,7 @@ class FlashController:
             raise KeyError(f"chip {chip_key} is not attached to channel {self.channel.channel_id}")
         request.committed_at_ns = now_ns
         self.pending[chip_key].append(request)
+        self.busy.add(chip_key)
         self.total_committed += 1
 
     def pending_count(self, chip_key: tuple) -> int:
@@ -95,12 +104,10 @@ class FlashController:
     def has_outstanding(self, chip_key: tuple) -> bool:
         """True when the chip already holds committed or in-flight work.
 
-        An active transaction always carries at least one request, so this
-        avoids the per-call length arithmetic of :meth:`outstanding_count` -
-        conflict-checking schedulers (VAS/PAS) probe every chip of every
-        queued I/O per composition, making this one of their hottest calls.
+        Equivalent to probing :attr:`busy` directly, which the hot
+        conflict-checking loops of VAS/PAS do to skip the method call.
         """
-        return bool(self.pending[chip_key]) or self.active[chip_key] is not None
+        return chip_key in self.busy
 
     def pending_requests(self, chip_key: tuple) -> Sequence[MemoryRequest]:
         """Read-only view of the chip's commit queue (used by the readdressing callback)."""
@@ -117,6 +124,8 @@ class FlashController:
         kept = [req for req in queue if keep(req)]
         removed = len(queue) - len(kept)
         self.pending[chip_key] = kept
+        if not kept and self.active[chip_key] is None:
+            self.busy.discard(chip_key)
         return removed
 
     # ------------------------------------------------------------------
@@ -142,11 +151,11 @@ class FlashController:
         queue = self.pending[chip_key]
         if not queue:
             return None
-        transaction = self.builder.build_from_pending(chip_key, queue)
-        if transaction is None:
+        selected, remaining = self.builder.select_partition(queue)
+        if not selected:
             return None
-        selected_ids = {req.request_id for req in transaction.requests}
-        self.pending[chip_key] = [req for req in queue if req.request_id not in selected_ids]
+        transaction = self.builder.build(chip_key, selected)
+        self.pending[chip_key] = remaining
         self.active[chip_key] = transaction
         self.total_transactions += 1
         schedule = self._schedule_phases(transaction, now_ns)
@@ -160,6 +169,7 @@ class FlashController:
         if not self.chip_available(chip_key, now_ns):
             return None
         self.active[chip_key] = transaction
+        self.busy.add(chip_key)
         self.total_transactions += 1
         schedule = self._schedule_phases(transaction, now_ns)
         self._record(chip_key, schedule)
@@ -174,24 +184,29 @@ class FlashController:
         for request in transaction.requests:
             request.completed_at_ns = now_ns
         self.active[chip_key] = None
+        if not self.pending[chip_key]:
+            self.busy.discard(chip_key)
         return transaction
 
     # ------------------------------------------------------------------
     # Internal helpers
     # ------------------------------------------------------------------
     def _schedule_phases(self, transaction: FlashTransaction, now_ns: int) -> TransactionSchedule:
-        is_write = transaction.has_program
-        if is_write is None:
-            is_write = any(req.op is FlashOp.PROGRAM for req in transaction.requests)
         has_bus = transaction.bus_time_ns > 0
         if transaction.is_gc or not has_bus:
             # Pure cell work (GC copyback + erase): no channel traffic.
+            # is_write is irrelevant here, so the request walk that computes
+            # it when the builder didn't is deferred to the bus branches.
             bus_start = bus_end = now_ns
             cell_start = now_ns
             cell_end = cell_start + transaction.cell_time_ns
             complete = cell_end
             wait = 0
-        elif is_write:
+        elif (
+            transaction.has_program
+            if transaction.has_program is not None
+            else any(req.op is FlashOp.PROGRAM for req in transaction.requests)
+        ):
             bus_start, bus_end, wait = self.channel.reserve(
                 now_ns, transaction.bus_time_ns, transaction.total_bytes
             )

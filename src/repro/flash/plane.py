@@ -114,6 +114,32 @@ class Block:
             owner._valid_pages += 1
         return page
 
+    def program_run(self, count: int) -> int:
+        """Program the next ``count`` free pages of the block in one step.
+
+        Exactly equivalent to ``count`` consecutive :meth:`program_next`
+        calls - write pointer advanced by ``count``, the programmed pages all
+        marked valid, owner aggregates updated once - but with a single mask
+        update instead of per-page bit twiddling.  The garbage collector uses
+        this to place a whole run of migrated pages on the active block.
+        Returns the first programmed page index.
+        """
+        start = self.write_pointer
+        if count <= 0 or start + count > self.pages_per_block:
+            raise RuntimeError(
+                f"block {self.block_id} cannot program a run of {count} pages"
+            )
+        self._valid_bits |= ((1 << count) - 1) << start
+        self._valid_count += count
+        self.write_pointer = start + count
+        owner = self._owner
+        if owner is not None and not self.is_bad:
+            if start == 0:
+                owner._free_blocks -= 1
+            owner._free_pages -= count
+            owner._valid_pages += count
+        return start
+
     def program_bulk(self, count: int) -> None:
         """Program the first ``count`` pages of a *free* block in one step.
 
@@ -147,6 +173,23 @@ class Block:
             if self._owner is not None and not self.is_bad:
                 self._owner._valid_pages -= 1
 
+    def invalidate_mask(self, mask: int) -> int:
+        """Mark every page whose bit is set in ``mask`` as stale.
+
+        Equivalent to calling :meth:`invalidate` for each set bit (already
+        invalid pages are ignored), but with one mask update and one owner
+        notification.  Returns the number of pages that went stale.
+        """
+        cleared = self._valid_bits & mask
+        if not cleared:
+            return 0
+        removed = cleared.bit_count()
+        self._valid_bits &= ~mask
+        self._valid_count -= removed
+        if self._owner is not None and not self.is_bad:
+            self._owner._valid_pages -= removed
+        return removed
+
     def erase(self) -> None:
         """Erase the block: clear all pages and bump the erase count."""
         owner = self._owner
@@ -155,6 +198,7 @@ class Block:
                 owner._free_blocks += 1
             owner._free_pages += self.write_pointer
             owner._valid_pages -= self._valid_count
+            owner._total_erases += 1
         self.write_pointer = 0
         self._valid_bits = 0
         self._valid_count = 0
@@ -195,6 +239,7 @@ class Plane:
         self._free_blocks = blocks_per_plane
         self._free_pages = blocks_per_plane * pages_per_block
         self._valid_pages = 0
+        self._total_erases = 0
 
     # ------------------------------------------------------------------
     # Capacity queries (O(1) - backed by incrementally-updated counters)
@@ -219,6 +264,15 @@ class Plane:
         """Total number of live pages in the plane."""
         return self._valid_pages
 
+    @property
+    def total_erases(self) -> int:
+        """Erase operations performed on (then-good) blocks of this plane.
+
+        Lets aggregate wear queries skip never-erased planes without
+        scanning their blocks.
+        """
+        return self._total_erases
+
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
@@ -235,6 +289,23 @@ class Plane:
             raise RuntimeError(f"plane {self.plane_key} has no free pages")
         page = block.program_next()
         return block.block_id, page
+
+    def allocate_run(self, max_count: int) -> Optional[tuple]:
+        """Allocate up to ``max_count`` consecutive pages on the active block.
+
+        Returns ``(block_id, start_page, count)``, or ``None`` when the
+        plane is completely full.  The pages come from the same block the
+        next ``count`` :meth:`allocate_page` calls would have used (the run
+        is clipped at the block boundary, so a caller loops until its demand
+        is met); the block rotation that happens between runs is identical
+        to the per-page path's.
+        """
+        block = self._active_block()
+        if block is None:
+            return None
+        count = min(max_count, block.pages_per_block - block.write_pointer)
+        start = block.program_run(count)
+        return block.block_id, start, count
 
     def _active_block(self) -> Optional[Block]:
         if self.active_block_id is not None:
@@ -274,10 +345,27 @@ class Plane:
         identical victim sequences - a property the aged-device regression
         tests rely on.
         """
-        candidates = self.victim_candidates()
-        if not candidates:
-            return None
-        return min(candidates, key=lambda block: (block.valid_count, block.block_id))
+        # Direct scan instead of victim_candidates() + min(key=...): the GC
+        # trigger runs this once per sub-watermark host write, and the
+        # listcomp + lambda + per-candidate key tuples dominated its cost.
+        # Ascending iteration with a strict ``<`` keeps the lowest-block-id
+        # tie-break exact.
+        best: Optional[Block] = None
+        best_valid = 0
+        active_id = self.active_block_id
+        pages_per_block = self.pages_per_block
+        for block in self.blocks:
+            if (
+                block.write_pointer < pages_per_block
+                or block.is_bad
+                or block.block_id == active_id
+            ):
+                continue
+            valid = block._valid_count
+            if best is None or valid < best_valid:
+                best = block
+                best_valid = valid
+        return best
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -206,6 +206,54 @@ class TransactionBuilder:
             used_planes.add(plane_key)
         return selected
 
+    def select_partition(
+        self, pending: Sequence[MemoryRequest]
+    ) -> "tuple[List[MemoryRequest], List[MemoryRequest]]":
+        """:meth:`select`, but also return the rejected remainder.
+
+        One walk produces ``(selected, remaining)`` with ``remaining`` in
+        original order - the controller previously re-derived it by hashing
+        the selected ids and filtering the queue a second time, which showed
+        up on the per-activation hot path.
+        """
+        if not pending:
+            return [], []
+        selected: List[MemoryRequest] = []
+        remaining: List[MemoryRequest] = []
+        keep = remaining.append
+        take = selected.append
+        used_planes: set = set()
+        op: Optional[FlashOp] = None
+        taken = 0
+        limit = self.constraints.max_requests_per_transaction
+        max_planes = self._planes_per_chip
+        single_op = self.constraints.single_operation_per_transaction
+        strict = self.constraints.strict_multiplane
+        for index, req in enumerate(pending):
+            if taken >= limit or len(used_planes) >= max_planes:
+                remaining.extend(pending[index:])
+                break
+            address = req.address
+            if address is None:
+                keep(req)
+                continue
+            if op is None:
+                op = req.op
+            elif single_op and req.op is not op:
+                keep(req)
+                continue
+            plane_key = (address.die, address.plane)
+            if plane_key in used_planes:
+                keep(req)
+                continue
+            if strict and not self._multiplane_compatible(selected, req):
+                keep(req)
+                continue
+            take(req)
+            taken += 1
+            used_planes.add(plane_key)
+        return selected, remaining
+
     def _multiplane_compatible(
         self, selected: Sequence[MemoryRequest], candidate: MemoryRequest
     ) -> bool:

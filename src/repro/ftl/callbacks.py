@@ -55,6 +55,11 @@ class ReaddressingCallback:
         self._controllers: Dict[int, FlashController] = {}
         self._pending_index: Dict[PhysicalPageAddress, List[MemoryRequest]] = {}
         self._extra_listeners: List[Callable[[int, PhysicalPageAddress, PhysicalPageAddress], None]] = []
+        #: True while every extra listener declared (via its owner's
+        #: ``migration_ignores_same_plane`` attribute) that same-plane moves
+        #: are no-ops for it - lets the batched path skip the listener round
+        #: trip for the common same-plane GC copyback.
+        self._listeners_ignore_same_plane = True
 
     # ------------------------------------------------------------------
     # Wiring
@@ -68,6 +73,9 @@ class ReaddressingCallback:
     ) -> None:
         """Register an extra observer of migrations (e.g. the scheduler)."""
         self._extra_listeners.append(listener)
+        owner = getattr(listener, "__self__", None)
+        if not getattr(owner, "migration_ignores_same_plane", False):
+            self._listeners_ignore_same_plane = False
 
     def track_request(self, request: MemoryRequest) -> None:
         """Start tracking a committed memory request for possible retargeting."""
@@ -108,7 +116,9 @@ class ReaddressingCallback:
         # The callback is only invoked for retargeting when data moved
         # between different flash internal resources (paper Section 4.3);
         # same-plane copyback keeps the resource layout unchanged.
-        stale = self._pending_index.pop(old, [])
+        stale = self._pending_index.pop(old, None)
+        if stale is None:
+            return
         for request in stale:
             request.retarget(new)
             if self.enabled:
@@ -120,6 +130,104 @@ class ReaddressingCallback:
                 request.penalty_ns += self.stale_penalty_ns
                 self.stats.requests_penalized += 1
             self._pending_index.setdefault(new, []).append(request)
+
+    def on_migrations(
+        self,
+        lpns: List[int],
+        moves: List[tuple],
+        *,
+        all_same_plane: bool = False,
+    ) -> None:
+        """Batched :meth:`on_migration`: one call per garbage-collection pass.
+
+        Semantics and counters are identical to calling :meth:`on_migration`
+        once per ``(lpns[i], *moves[i])`` in order; the batch hoists the
+        per-move attribute walks and, when every extra listener declared
+        same-plane moves to be no-ops for it, skips their round trip for the
+        in-plane copyback that dominates GC relocation.
+
+        ``all_same_plane=True`` is the caller's guarantee that every move
+        stays within its source plane (the FTL knows this from its
+        allocation runs); the batch then skips the per-move plane
+        comparison entirely and, when the listeners allow it, reduces to
+        pure pending-index maintenance.
+        """
+        stats = self.stats
+        stats.migrations_observed += len(moves)
+        pending_pop = self._pending_index.pop
+        pending_setdefault = self._pending_index.setdefault
+        listeners = self._extra_listeners
+        skip_same_plane = self._listeners_ignore_same_plane
+        enabled = self.enabled
+        penalty_ns = self.stale_penalty_ns
+        if all_same_plane and (skip_same_plane or not listeners):
+            # Fast path: no cross-resource counting, no listener round
+            # trips - only in-flight requests aimed at a moved page need
+            # attention, and when nothing is tracked at all the whole pass
+            # is a no-op.
+            pending = self._pending_index
+            if not pending:
+                return
+            if len(pending) * 4 <= len(moves):
+                # Far fewer tracked addresses than moves: probe the move
+                # table from the pending side instead of walking every move.
+                # dict(moves) builds at C speed; iteration order of the
+                # stale buckets does not matter because each old address
+                # retargets independently.
+                move_map = dict(moves)
+                move_get = move_map.get
+                for old in list(pending):
+                    new = move_get(old)
+                    if new is None:
+                        continue
+                    stale = pending_pop(old)
+                    for request in stale:
+                        request.retarget(new)
+                        if enabled:
+                            stats.requests_retargeted += 1
+                        else:
+                            request.penalty_ns += penalty_ns
+                            stats.requests_penalized += 1
+                        pending_setdefault(new, []).append(request)
+                return
+            for old, new in moves:
+                stale = pending_pop(old, None)
+                if stale is None:
+                    continue
+                for request in stale:
+                    request.retarget(new)
+                    if enabled:
+                        stats.requests_retargeted += 1
+                    else:
+                        request.penalty_ns += penalty_ns
+                        stats.requests_penalized += 1
+                    pending_setdefault(new, []).append(request)
+            return
+        for index, move in enumerate(moves):
+            old, new = move
+            same_plane = all_same_plane or (
+                old[0] == new[0]
+                and old[1] == new[1]
+                and old[2] == new[2]
+                and old[3] == new[3]
+            )
+            if not same_plane:
+                stats.cross_resource_migrations += 1
+            if listeners and not (same_plane and skip_same_plane):
+                lpn = lpns[index]
+                for listener in listeners:
+                    listener(lpn, old, new)
+            stale = pending_pop(old, None)
+            if stale is None:
+                continue
+            for request in stale:
+                request.retarget(new)
+                if enabled:
+                    stats.requests_retargeted += 1
+                else:
+                    request.penalty_ns += penalty_ns
+                    stats.requests_penalized += 1
+                pending_setdefault(new, []).append(request)
 
     # ------------------------------------------------------------------
     # Queries used by the simulator's penalty model

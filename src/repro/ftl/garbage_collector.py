@@ -14,8 +14,9 @@ simulator turns the returned :class:`GCJob` into chip occupancy.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.flash.chip import FlashChip, planes_by_key
 from repro.flash.geometry import PhysicalPageAddress, SSDGeometry
@@ -68,6 +69,9 @@ class GCStats:
 class GarbageCollector:
     """Greedy per-plane garbage collector."""
 
+    #: Size of the :attr:`history` ring (most recent passes kept).
+    HISTORY_LIMIT = 4096
+
     def __init__(
         self,
         geometry: SSDGeometry,
@@ -87,14 +91,32 @@ class GarbageCollector:
         #: Direct plane lookup - the GC trigger runs once per host page
         #: write (see :func:`repro.flash.chip.planes_by_key`).
         self._planes = planes_by_key(chips)
+        #: Per-page program latency, precomputed as a flat array: GC prices
+        #: one program per migrated page, and the table turns the per-page
+        #: timing-model call into a C list index.
+        self._program_ns_by_page = [
+            timing.program_latency_ns(page) for page in range(geometry.pages_per_block)
+        ]
+        #: Prefix sums of the table above: pricing a whole destination run
+        #: (contiguous pages ``start..start+count-1``) is two lookups and a
+        #: subtraction instead of a per-page loop.
+        prefix = [0]
+        for latency in self._program_ns_by_page:
+            prefix.append(prefix[-1] + latency)
+        self._program_ns_prefix = prefix
         self.stats = GCStats()
-        #: Ordered log of every collection pass as
+        #: Ordered log of recent collection passes as
         #: ``(chip_key, die, plane, victim_block, pages_moved)`` - the GC job
         #: sequence.  Victim selection ties break on ``(valid_pages,
         #: block_id)`` and plane iteration is ascending ``(die, plane)``, so
         #: identically-seeded runs must produce identical histories (the
-        #: determinism regression tests compare these logs directly).
-        self.history: List[Tuple[tuple, int, int, int, int]] = []
+        #: determinism regression tests compare these logs directly).  The
+        #: log is a ring of the most recent :data:`HISTORY_LIMIT` passes so
+        #: a GC-heavy trace replay does not accumulate O(invocations)
+        #: memory; aggregate counts live in :attr:`stats`.
+        self.history: Deque[Tuple[tuple, int, int, int, int]] = deque(
+            maxlen=self.HISTORY_LIMIT
+        )
 
     # ------------------------------------------------------------------
     # Trigger policy
@@ -148,42 +170,43 @@ class GarbageCollector:
         if victim is None:
             return None
         channel, chip_idx = chip_key
-        moves: List[Tuple[PhysicalPageAddress, PhysicalPageAddress]] = []
-        migrated: List[int] = []
-        duration = 0
-        read_ns = self.timing.read_latency_ns()
         plane_key = (channel, chip_idx, die, plane)
         block_id = victim.block_id
-        # Walk only the set bits of the valid mask (ascending page order,
-        # identical to scanning every page) - greedy victims are mostly
-        # invalid, so this skips the bulk of the block.
-        mask = victim.valid_mask
-        while mask:
-            low_bit = mask & -mask
-            mask ^= low_bit
-            page = low_bit.bit_length() - 1
-            old_address = PhysicalPageAddress(
-                channel=channel,
-                chip=chip_idx,
-                die=die,
-                plane=plane,
-                block=block_id,
-                page=page,
-            )
-            lpn = self.ftl.reverse_lookup(old_address)
-            if lpn is None:
-                # Orphaned valid bit: the block says the page is live but the
-                # FTL has no owner for it.  Count it loudly (tests assert the
-                # counter stays at zero) instead of dropping it silently.
-                self.stats.orphaned_pages += 1
-                victim.invalidate(page)
-                continue
-            old, new = self.ftl.migrate_page(lpn, preferred_plane=plane_key)
-            moves.append((old, new))
-            migrated.append(lpn)
-            duration += read_ns
-            duration += self.timing.program_latency_ns(new.page)
-        self.ftl.erase_block(chip_key, die, plane, victim.block_id)
+        # Resolve the victim's valid pages to LPNs in one bulk reverse-map
+        # pass (set bits of the mask, ascending page order - identical to
+        # scanning every page; greedy victims are mostly invalid).
+        pages, lpns = self.ftl.valid_lpns_in_block(plane_key, block_id, victim.valid_mask)
+        if None in lpns:
+            # Orphaned valid bits: the block says those pages are live but
+            # the FTL has no owner for them.  Count them loudly (tests assert
+            # the counter stays at zero) instead of dropping them silently.
+            live_pages: List[int] = []
+            migrated: List[int] = []
+            for page, lpn in zip(pages, lpns):
+                if lpn is None:
+                    self.stats.orphaned_pages += 1
+                    victim.invalidate(page)
+                else:
+                    live_pages.append(page)
+                    migrated.append(lpn)
+            pages = live_pages
+        else:
+            migrated = lpns
+        # Relocate every live page as one bulk operation: one allocation run
+        # per destination block, one victim mask update, one overlay pass.
+        runs: List[Tuple[int, int]] = []
+        moves = self.ftl.migrate_pages(plane_key, block_id, pages, migrated, runs_out=runs)
+        # Price each destination run from the program-latency prefix sums:
+        # the run list covers every move (contiguous page spans within one
+        # destination block), so the sum equals pricing every move's
+        # destination page individually.
+        prefix = self._program_ns_prefix
+        duration = len(moves) * self.timing.read_ns
+        for start, run_count in runs:
+            duration += prefix[start + run_count] - prefix[start]
+        # migrate_pages just relocated every valid page (and invalidation
+        # popped the rest), so the victim has no reverse entries left.
+        self.ftl.erase_block(chip_key, die, plane, victim.block_id, swept=True)
         duration += self.timing.erase_latency_ns()
         job = GCJob(
             chip_key=chip_key,

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.flash.chip import FlashChip, planes_by_key
 from repro.flash.geometry import PhysicalPageAddress, SSDGeometry
@@ -60,9 +60,15 @@ class PageMapFTL:
         self._map: Dict[int, PhysicalPageAddress] = {}
         self._reverse: Dict[PhysicalPageAddress, int] = {}
         #: Logical pages 0.._base_live-1 are implicitly mapped to the striped
-        #: base layout (see install_base_layout) unless listed in _base_moved.
+        #: base layout (see install_base_layout) unless flagged in
+        #: _base_moved.  The moved flags are a flat byte-map indexed by LPN
+        #: (sized at install time) rather than a set of ints: the aged-device
+        #: overlay probe runs on every lookup/reverse-lookup, and a single C
+        #: index beats hashing arbitrary-size ints - at an eighth of the
+        #: memory.  _base_moved_count tracks the number of set flags.
         self._base_live = 0
-        self._base_moved: Set[int] = set()
+        self._base_moved = bytearray()
+        self._base_moved_count = 0
         self._plane_index: Dict[tuple, int] = {
             key: index for index, key in enumerate(self.allocator.plane_sequence)
         }
@@ -71,6 +77,10 @@ class PageMapFTL:
         self._planes = planes_by_key(chips)
         self.stats = FTLStats()
         self._migration_listeners: List[MigrationListener] = []
+        #: Bound ``on_migrations`` of the sole listener's owner when that
+        #: batched form is available (see :meth:`add_migration_listener`);
+        #: ``None`` forces the per-move notification loop.
+        self._batch_notifier = None
 
     # ------------------------------------------------------------------
     # Listener registration (readdressing callback, metrics, ...)
@@ -78,6 +88,19 @@ class PageMapFTL:
     def add_migration_listener(self, listener: MigrationListener) -> None:
         """Register a callable invoked as (lpn, old_address, new_address)."""
         self._migration_listeners.append(listener)
+        # Bulk migration can hand the whole move list to the listener in one
+        # call when there is exactly one listener, it is a bound
+        # ``on_migration``, and its owner also implements ``on_migrations``
+        # with identical per-move semantics (ReaddressingCallback does).
+        self._batch_notifier = None
+        if len(self._migration_listeners) == 1:
+            owner = getattr(listener, "__self__", None)
+            if (
+                owner is not None
+                and getattr(listener, "__func__", None)
+                is getattr(type(owner), "on_migration", None)
+            ):
+                self._batch_notifier = getattr(owner, "on_migrations", None)
 
     def _notify_migration(
         self, lpn: int, old: PhysicalPageAddress, new: PhysicalPageAddress
@@ -106,7 +129,7 @@ class PageMapFTL:
         if old is not None:
             self._invalidate_physical(old)
             if lpn < self._base_live:
-                self._base_moved.add(lpn)
+                self._mark_base_moved(lpn)
         address = self.allocator.allocate()
         self._map[lpn] = address
         self._reverse[address] = lpn
@@ -118,7 +141,7 @@ class PageMapFTL:
         address = self._map.get(lpn)
         if address is not None:
             return address
-        if lpn < self._base_live and lpn not in self._base_moved:
+        if lpn < self._base_live and not self._base_moved[lpn]:
             return self.allocator.static_address(lpn)
         return None
 
@@ -128,7 +151,7 @@ class PageMapFTL:
         if lpn is not None:
             return lpn
         lpn = self._base_lpn(address)
-        if lpn is not None and lpn not in self._base_moved:
+        if lpn is not None and not self._base_moved[lpn]:
             return lpn
         return None
 
@@ -151,7 +174,7 @@ class PageMapFTL:
     @property
     def mapped_pages(self) -> int:
         """Number of logical pages with a live physical mapping."""
-        return len(self._map) + self._base_live - len(self._base_moved)
+        return len(self._map) + self._base_live - self._base_moved_count
 
     def mapping_items(self):
         """Live ``(lpn, address)`` pairs (iteration order unspecified).
@@ -169,7 +192,7 @@ class PageMapFTL:
         static = self.allocator.static_address
         moved = self._base_moved
         for lpn in range(self._base_live):
-            if lpn not in moved:
+            if not moved[lpn]:
                 yield lpn, static(lpn)
 
     def install_base_layout(self, live: int) -> None:
@@ -189,11 +212,20 @@ class PageMapFTL:
         if not 0 <= live <= self.geometry.total_pages:
             raise ValueError("live page count out of range")
         self._base_live = live
+        self._base_moved = bytearray(live)
+        self._base_moved_count = 0
         self.stats.host_writes += live
 
     # ------------------------------------------------------------------
     # Invalidation and migration
     # ------------------------------------------------------------------
+    def _mark_base_moved(self, lpn: int) -> None:
+        """Flag a base-layout LPN as rewritten/migrated (idempotent)."""
+        moved = self._base_moved
+        if not moved[lpn]:
+            moved[lpn] = 1
+            self._base_moved_count += 1
+
     def _invalidate_physical(self, address: PhysicalPageAddress) -> None:
         plane = self._planes[address[:4]]
         plane.blocks[address.block].invalidate(address.page)
@@ -215,7 +247,7 @@ class PageMapFTL:
         new = self.allocator.allocate(preferred_plane=preferred_plane)
         self._invalidate_physical(old)
         if lpn < self._base_live:
-            self._base_moved.add(lpn)
+            self._mark_base_moved(lpn)
         self._map[lpn] = new
         self._reverse[new] = lpn
         self.stats.migrations += 1
@@ -223,8 +255,193 @@ class PageMapFTL:
         self._notify_migration(lpn, old, new)
         return old, new
 
-    def erase_block(self, chip_key: tuple, die: int, plane: int, block: int) -> None:
-        """Erase a block after its valid pages have been migrated away."""
+    def valid_lpns_in_block(
+        self, plane_key: tuple, block_id: int, valid_mask: int
+    ) -> Tuple[List[int], List[Optional[int]]]:
+        """LPNs stored at the set bits of ``valid_mask``, ascending page order.
+
+        Returns parallel ``(pages, lpns)`` lists; a page whose valid bit is
+        set but that has no live mapping yields ``None`` (an orphan - the
+        garbage collector counts those loudly).  One bulk reverse-map pass:
+        the explicit reverse map is probed with plain tuples (which hash and
+        compare equal to :class:`PhysicalPageAddress`) and the base-layout
+        fallback is inlined arithmetic, so no per-page address objects or
+        method calls are paid.
+        """
+        channel, chip, die, plane = plane_key
+        reverse_get = self._reverse.get
+        base_live = self._base_live
+        if base_live:
+            plane_index = self._plane_index[plane_key]
+            num_planes = len(self._plane_index)
+            base_position = block_id * self.geometry.pages_per_block
+            moved = self._base_moved
+        pages: List[int] = []
+        lpns: List[Optional[int]] = []
+        mask = valid_mask
+        while mask:
+            low_bit = mask & -mask
+            mask ^= low_bit
+            page = low_bit.bit_length() - 1
+            lpn = reverse_get((channel, chip, die, plane, block_id, page))
+            if lpn is None and base_live:
+                candidate = (base_position + page) * num_planes + plane_index
+                if candidate < base_live and not moved[candidate]:
+                    lpn = candidate
+            pages.append(page)
+            lpns.append(lpn)
+        return pages, lpns
+
+    def migrate_pages(
+        self,
+        plane_key: tuple,
+        block_id: int,
+        pages: List[int],
+        lpns: List[int],
+        runs_out: Optional[List[Tuple[int, int]]] = None,
+    ) -> List[Tuple[PhysicalPageAddress, PhysicalPageAddress]]:
+        """Bulk-migrate live pages out of one victim block.
+
+        ``lpns[i]`` currently lives at ``pages[i]`` of ``block_id`` on
+        ``plane_key``.  Equivalent to calling :meth:`migrate_page` for each
+        LPN in order with ``preferred_plane=plane_key`` - identical
+        destination addresses, counters and listener notifications - but
+        with the per-page round trips batched: destinations come from whole
+        active-block runs (:meth:`repro.flash.plane.Plane.allocate_run`),
+        the victim's valid bits clear in one mask update, and the
+        overlay/reverse-map bookkeeping is a single pass.  Returns the
+        ``(old, new)`` move list.
+
+        The batching is legal because nothing a migration mutates feeds back
+        into the pass itself: destinations never land in the (full) victim
+        block, each LPN appears at most once, and the migration listeners
+        only touch scheduler/controller state, never the FTL maps.
+
+        ``runs_out``, when given, receives one ``(start_page, count)`` entry
+        per destination page span (covering every move, in order) so the
+        caller can price program latencies per span instead of per page.
+        """
+        channel, chip, die, plane = plane_key
+        count = len(lpns)
+        plane_obj = self._planes[plane_key]
+        allocator = self.allocator
+        allocate_run = plane_obj.allocate_run
+        # Addresses are built with tuple.__new__ instead of the NamedTuple
+        # constructor: identical objects, half the construction cost, and
+        # this is the hottest allocation site in GC-bound runs.
+        new_address = tuple.__new__
+        address_cls = PhysicalPageAddress
+        # 1. Invalidate the victim pages in one mask update.  Safe to do
+        #    before allocating destinations: the victim block is full, so no
+        #    destination can land in it, and allocation never reads valid
+        #    bits.
+        victim_mask = 0
+        for page in pages:
+            victim_mask |= 1 << page
+        plane_obj.blocks[block_id].invalidate_mask(victim_mask)
+        # 2. One fused pass per destination run: allocate, then do the
+        #    overlay/reverse-map bookkeeping for each page of the run
+        #    immediately.  The destination sequence is exactly what the
+        #    per-page path's allocate(preferred_plane=...) calls would
+        #    produce, including the global round-robin fallback once the
+        #    plane fills up (bookkeeping never feeds back into allocation).
+        explicit_map = self._map
+        reverse = self._reverse
+        reverse_pop = reverse.pop
+        base_live = self._base_live
+        moved = self._base_moved
+        newly_moved = 0
+        moves: List[Tuple[PhysicalPageAddress, PhysicalPageAddress]] = []
+        append_move = moves.append
+        index = 0
+        remaining = count
+        all_same_plane = True
+        while remaining:
+            run = allocate_run(remaining)
+            if run is None:
+                # Fallback: plane full - the allocator picks the next plane
+                # in its global round-robin order (a cross-plane move).
+                new = allocator.allocate(preferred_plane=plane_key)
+                if new[:4] != plane_key:
+                    all_same_plane = False
+                lpn = lpns[index]
+                old = new_address(
+                    address_cls, (channel, chip, die, plane, block_id, pages[index])
+                )
+                reverse_pop(old, None)
+                if lpn < base_live and not moved[lpn]:
+                    moved[lpn] = 1
+                    newly_moved += 1
+                explicit_map[lpn] = new
+                reverse[new] = lpn
+                append_move((old, new))
+                if runs_out is not None:
+                    runs_out.append((new[5], 1))
+                index += 1
+                remaining -= 1
+                continue
+            run_block, start, run_count = run
+            if runs_out is not None:
+                runs_out.append((start, run_count))
+            end = index + run_count
+            run_lpns = lpns[index:end]
+            # Bulk the whole run through C-level machinery: comprehensions
+            # for the address objects, dict.update/extend for the maps and
+            # move list.  This replaces the interpreted per-page loop body
+            # (the hottest code in GC-bound runs) with a handful of C calls
+            # per destination run.
+            news = [
+                new_address(address_cls, (channel, chip, die, plane, run_block, page))
+                for page in range(start, start + run_count)
+            ]
+            olds = [
+                new_address(address_cls, (channel, chip, die, plane, block_id, page))
+                for page in pages[index:end]
+            ]
+            for old in olds:
+                reverse_pop(old, None)
+            if base_live:
+                for lpn in run_lpns:
+                    if lpn < base_live and not moved[lpn]:
+                        moved[lpn] = 1
+                        newly_moved += 1
+            explicit_map.update(zip(run_lpns, news))
+            reverse.update(zip(news, run_lpns))
+            moves.extend(zip(olds, news))
+            index = end
+            remaining -= run_count
+        self._base_moved_count += newly_moved
+        stats = self.stats
+        stats.invalidations += count
+        stats.migrations += count
+        stats.gc_writes += count
+        # 3. Notifications preserve exact per-move order.  The batch
+        #    notifier learns whether every move stayed in the victim's plane
+        #    so it can skip the per-move plane comparison (the common case:
+        #    GC copyback with no allocator fallback).
+        if self._batch_notifier is not None:
+            self._batch_notifier(lpns, moves, all_same_plane=all_same_plane)
+        else:
+            listeners = self._migration_listeners
+            if listeners:
+                for index, (old, new) in enumerate(moves):
+                    for listener in listeners:
+                        listener(lpns[index], old, new)
+        return moves
+
+    def erase_block(
+        self, chip_key: tuple, die: int, plane: int, block: int, *, swept: bool = False
+    ) -> None:
+        """Erase a block after its valid pages have been migrated away.
+
+        ``swept=True`` is the caller's guarantee that no page of the block
+        still has a reverse-map entry - true right after
+        :meth:`migrate_pages` relocated every valid page (invalid pages
+        dropped their entries when they were invalidated).  It skips the
+        defensive straggler sweep; divergence from that guarantee is the
+        same bookkeeping bug the garbage collector's orphan counter already
+        surfaces loudly.
+        """
         chip = self.chips[chip_key]
         plane_obj = chip.plane(die, plane)
         block_obj = plane_obj.blocks[block]
@@ -235,21 +452,38 @@ class PageMapFTL:
         # constructing one address object per page.
         channel, chip_idx = chip_key
         reverse_pop = self._reverse.pop
-        for page in range(block_obj.pages_per_block):
-            address = (channel, chip_idx, die, plane, block, page)
-            lpn = reverse_pop(address, None)
-            if lpn is not None and self._map.get(lpn) == address:
-                del self._map[lpn]
-        if self._base_live:
+        explicit_map = self._map
+        base_live = self._base_live
+        if base_live:
             # Base-layout pages living in this block lose their implicit
             # mapping too (idempotent for pages already moved elsewhere).
             plane_index = self._plane_index[(channel, chip_idx, die, plane)]
             num_planes = len(self._plane_index)
-            pages_per_block = self.geometry.pages_per_block
-            for page in range(block_obj.pages_per_block):
-                lpn = (block * pages_per_block + page) * num_planes + plane_index
-                if lpn < self._base_live:
-                    self._base_moved.add(lpn)
+            base_position = block * self.geometry.pages_per_block
+            moved = self._base_moved
+            newly_moved = 0
+        if swept:
+            if base_live:
+                for page in range(block_obj.pages_per_block):
+                    base_lpn = (base_position + page) * num_planes + plane_index
+                    if base_lpn < base_live and not moved[base_lpn]:
+                        moved[base_lpn] = 1
+                        newly_moved += 1
+                self._base_moved_count += newly_moved
+            block_obj.erase()
+            return
+        for page in range(block_obj.pages_per_block):
+            address = (channel, chip_idx, die, plane, block, page)
+            lpn = reverse_pop(address, None)
+            if lpn is not None and explicit_map.get(lpn) == address:
+                del explicit_map[lpn]
+            if base_live:
+                base_lpn = (base_position + page) * num_planes + plane_index
+                if base_lpn < base_live and not moved[base_lpn]:
+                    moved[base_lpn] = 1
+                    newly_moved += 1
+        if base_live:
+            self._base_moved_count += newly_moved
         block_obj.erase()
 
     # ------------------------------------------------------------------

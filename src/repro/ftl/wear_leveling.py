@@ -47,16 +47,27 @@ def wear_stats(chips: Dict[tuple, FlashChip]) -> WearStats:
     blocks = 0
     for chip in chips.values():
         for plane in chip.iter_planes():
-            for block in plane.blocks:
-                if block.is_bad:
-                    continue
-                count = block.erase_count
-                blocks += 1
-                total += count
-                if lowest is None or count < lowest:
-                    lowest = count
-                if count > highest:
-                    highest = count
+            good = plane.num_blocks
+            if good == 0:
+                continue
+            if plane.total_erases == 0:
+                # No good block of this plane was ever erased - the common
+                # case for most planes of a fresh or lightly-aged device.
+                # They all sit at erase count zero; skip the block scan.
+                blocks += good
+                lowest = 0
+                continue
+            counts = [
+                block.erase_count for block in plane.blocks if not block.is_bad
+            ]
+            blocks += good
+            total += sum(counts)
+            low = min(counts)
+            if lowest is None or low < lowest:
+                lowest = low
+            high = max(counts)
+            if high > highest:
+                highest = high
     if blocks == 0 or lowest is None:
         return WearStats(0, 0, 0.0, 0)
     return WearStats(

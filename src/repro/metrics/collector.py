@@ -7,6 +7,7 @@ final chip/channel statistics - into a :class:`~repro.metrics.report.SimulationR
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -14,10 +15,13 @@ from repro.flash.channel import Channel
 from repro.flash.chip import FlashChip
 from repro.flash.transaction import FlashTransaction
 from repro.metrics.breakdown import ExecutionBreakdown
-from repro.metrics.latency import LatencyStats
+from repro.metrics.latency import LatencyStats, StreamingLatencyStats
 from repro.metrics.parallelism import FLPBreakdown
 from repro.metrics.utilization import IdlenessReport, UtilizationReport
 from repro.workloads.request import IORequest
+
+#: Recognised completion-history modes (see :class:`MetricsCollector`).
+HISTORY_MODES = ("full", "windowed")
 
 
 @dataclass
@@ -31,20 +35,41 @@ class TimeSeriesPoint:
 
 
 class MetricsCollector:
-    """Accumulates raw measurements during one simulation run."""
+    """Accumulates raw measurements during one simulation run.
 
-    def __init__(self) -> None:
-        self.latency = LatencyStats()
+    ``history`` selects how completion history is retained:
+
+    * ``"full"`` (default) - every completion is kept, and the final report
+      is bit-identical to what this collector always produced.  Memory
+      grows linearly with the trace.
+    * ``"windowed"`` - fixed-size accumulators: latency count/mean/min/max
+      stay exact, but per-sample history (the time series and the
+      percentile population) is limited to the most recent ``window``
+      completions.  Peak memory is flat in trace length, which is what
+      makes day-long trace replays feasible.
+    """
+
+    def __init__(self, history: str = "full", window: int = 4096) -> None:
+        if history not in HISTORY_MODES:
+            raise ValueError(
+                f"unknown history mode {history!r}; expected one of {HISTORY_MODES}"
+            )
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.history = history
+        self.window = window
         self.flp = FLPBreakdown()
-        # Completion history as append-only parallel arrays.  One
-        # TimeSeriesPoint object per completion (the previous layout) paid a
-        # dataclass construction on the hot completion path; the point
-        # objects are now only materialised once, when the final report is
-        # assembled (see :attr:`time_series`).
-        self._ts_io_id: List[int] = []
-        self._ts_arrival_ns: List[int] = []
-        self._ts_completion_ns: List[int] = []
-        self._ts_latency_ns: List[int] = []
+        # Completion history as one append-only list of plain tuples: a
+        # single append per completion on the hot path, materialised into
+        # TimeSeriesPoint objects only when the final report is assembled
+        # (see :attr:`time_series`).  Windowed mode bounds the history with
+        # a ring (deque) instead.
+        if history == "windowed":
+            self.latency = StreamingLatencyStats(window_size=window)
+            self._ts: "deque[tuple]" = deque(maxlen=window)
+        else:
+            self.latency = LatencyStats()
+            self._ts: List[tuple] = []
         self.total_bytes = 0
         self.read_bytes = 0
         self.write_bytes = 0
@@ -72,10 +97,7 @@ class MetricsCollector:
         arrival = io.arrival_ns
         latency = now_ns - arrival
         self.latency.add(latency)
-        self._ts_io_id.append(io.io_id)
-        self._ts_arrival_ns.append(arrival)
-        self._ts_completion_ns.append(now_ns)
-        self._ts_latency_ns.append(latency)
+        self._ts.append((io.io_id, arrival, now_ns, latency))
         self.total_bytes += io.size_bytes
         self.completed_ios += 1
         if io.is_write:
@@ -106,7 +128,10 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     @property
     def time_series(self) -> List[TimeSeriesPoint]:
-        """Latency of each completed I/O, in completion order (Figure 12)."""
+        """Latency of each completed I/O, in completion order (Figure 12).
+
+        In windowed mode this is only the most recent ``window`` completions.
+        """
         return [
             TimeSeriesPoint(
                 io_id=io_id,
@@ -114,12 +139,7 @@ class MetricsCollector:
                 completion_ns=completion_ns,
                 latency_ns=latency_ns,
             )
-            for io_id, arrival_ns, completion_ns, latency_ns in zip(
-                self._ts_io_id,
-                self._ts_arrival_ns,
-                self._ts_completion_ns,
-                self._ts_latency_ns,
-            )
+            for io_id, arrival_ns, completion_ns, latency_ns in self._ts
         ]
 
     @property

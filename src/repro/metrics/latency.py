@@ -88,6 +88,88 @@ class LatencyStats:
         return merged
 
 
+@dataclass
+class StreamingLatencyStats:
+    """Bounded-memory latency accumulator (the collector's windowed mode).
+
+    ``count``, ``mean_ns``, ``min_ns`` and ``max_ns`` are exact over every
+    sample ever added; the sample buffer holds only the most recent
+    ``window_size`` values (a ring), so ``percentile_ns`` is computed over
+    that sliding window rather than the full history.  Peak memory is fixed
+    by ``window_size`` no matter how long the run is.  Quacks like
+    :class:`LatencyStats` (same read API, including ``samples_ns``).
+    """
+
+    window_size: int = 4096
+    total_count: int = 0
+    total_ns: int = 0
+    lowest_ns: int = 0
+    highest_ns: int = 0
+    _ring: List[int] = field(default_factory=list)
+    _cursor: int = 0
+
+    def add(self, latency_ns: int) -> None:
+        """Record the latency of one completed I/O request."""
+        if latency_ns < 0:
+            raise ValueError("latency must be non-negative")
+        if self.total_count == 0:
+            self.lowest_ns = self.highest_ns = latency_ns
+        else:
+            if latency_ns < self.lowest_ns:
+                self.lowest_ns = latency_ns
+            if latency_ns > self.highest_ns:
+                self.highest_ns = latency_ns
+        self.total_count += 1
+        self.total_ns += latency_ns
+        ring = self._ring
+        if len(ring) < self.window_size:
+            ring.append(latency_ns)
+        else:
+            ring[self._cursor] = latency_ns
+            self._cursor = (self._cursor + 1) % self.window_size
+
+    @property
+    def samples_ns(self) -> List[int]:
+        """The retained window, oldest first (most recent ``window_size``)."""
+        ring = self._ring
+        cursor = self._cursor
+        if cursor == 0 or len(ring) < self.window_size:
+            return list(ring)
+        return ring[cursor:] + ring[:cursor]
+
+    @property
+    def count(self) -> int:
+        """Number of recorded I/Os (exact, not windowed)."""
+        return self.total_count
+
+    @property
+    def mean_ns(self) -> float:
+        """Average latency over every recorded I/O (exact, not windowed)."""
+        if not self.total_count:
+            return 0.0
+        return self.total_ns / self.total_count
+
+    @property
+    def max_ns(self) -> int:
+        """Worst observed latency (exact, not windowed)."""
+        return self.highest_ns
+
+    @property
+    def min_ns(self) -> int:
+        """Best observed latency (exact, not windowed)."""
+        return self.lowest_ns
+
+    def percentile_ns(self, fraction: float) -> float:
+        """Latency percentile over the retained window (approximate)."""
+        return percentile(self._ring, fraction)
+
+    def merged_with(self, other) -> LatencyStats:
+        """Combine with another distribution over the retained windows."""
+        merged = LatencyStats()
+        merged.samples_ns = list(self.samples_ns) + list(other.samples_ns)
+        return merged
+
+
 def merge_latency_stats(parts: Iterable[LatencyStats]) -> LatencyStats:
     """Merge per-device latency distributions into one array-level one.
 

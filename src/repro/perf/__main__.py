@@ -6,10 +6,15 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.perf.compare import DEFAULT_THRESHOLD, compare_trajectories
+from repro.perf.compare import (
+    DEFAULT_RSS_THRESHOLD,
+    DEFAULT_THRESHOLD,
+    compare_trajectories,
+)
 from repro.perf.record import (
     BENCH_ID,
     load_trajectory,
+    profile_case,
     record_trajectory,
     write_trajectory,
 )
@@ -46,6 +51,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="run each case N times and report the fastest pass (default 1)",
     )
+    rec.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "additionally run each case once under cProfile and write a "
+            "top-25 cumulative table next to the trajectory"
+        ),
+    )
 
     cmp_ = sub.add_parser("compare", help="diff a current trajectory against a baseline")
     cmp_.add_argument("baseline", help="baseline trajectory JSON")
@@ -55,6 +68,12 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=DEFAULT_THRESHOLD,
         help="tolerated events/sec regression fraction (default %(default)s)",
+    )
+    cmp_.add_argument(
+        "--rss-threshold",
+        type=float,
+        default=DEFAULT_RSS_THRESHOLD,
+        help="tolerated peak-RSS growth fraction (default %(default)s)",
     )
     cmp_.add_argument(
         "--require-identical",
@@ -91,6 +110,12 @@ def _cmd_record(args: argparse.Namespace) -> int:
         f"wrote {path} ({len(trajectory.cases)} cases, "
         f"{trajectory.overall_events_per_sec:.1f} ev/s overall)"
     )
+    if args.profile:
+        suite = cases if cases is not None else list(canonical_suite(args.scale))
+        for case in suite:
+            profile_path = path.with_name(f"{path.stem}.profile.{case.name}.txt")
+            profile_path.write_text(profile_case(case))
+            print(f"wrote {profile_path} (cProfile, top cumulative)")
     return 0
 
 
@@ -101,6 +126,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         baseline,
         current,
         threshold=args.threshold,
+        rss_threshold=args.rss_threshold,
         require_identical=args.require_identical,
     )
     print(comparison.report())

@@ -22,6 +22,12 @@ from repro.perf.record import Trajectory
 
 DEFAULT_THRESHOLD = 0.25
 
+#: Tolerated peak-RSS growth fraction.  Memory regressions get their own,
+#: tighter threshold: throughput on a noisy host wobbles run to run, but the
+#: resident-set high-water mark of a pinned-seed suite is nearly
+#: deterministic, so a large tolerance would only hide leaks.
+DEFAULT_RSS_THRESHOLD = 0.15
+
 
 @dataclass(frozen=True)
 class CaseDelta:
@@ -32,6 +38,8 @@ class CaseDelta:
     current_eps: float
     comparable: bool
     digests_match: bool
+    baseline_rss_mb: float = 0.0
+    current_rss_mb: float = 0.0
 
     @property
     def ratio(self) -> float:
@@ -44,6 +52,16 @@ class CaseDelta:
         """True when the case got more than ``threshold`` slower."""
         return self.current_eps < self.baseline_eps * (1.0 - threshold)
 
+    def rss_regressed(self, rss_threshold: float) -> bool:
+        """True when peak RSS grew more than ``rss_threshold`` over baseline.
+
+        A baseline without RSS data (0.0, from a pre-RSS trajectory) gates
+        nothing - growth against an unknown baseline is meaningless.
+        """
+        if self.baseline_rss_mb <= 0.0:
+            return False
+        return self.current_rss_mb > self.baseline_rss_mb * (1.0 + rss_threshold)
+
 
 @dataclass(frozen=True)
 class Comparison:
@@ -55,10 +73,17 @@ class Comparison:
     new: Tuple[str, ...]
     require_identical: bool = False
     notes: Tuple[str, ...] = field(default_factory=tuple)
+    rss_threshold: float = DEFAULT_RSS_THRESHOLD
 
     @property
     def regressions(self) -> Tuple[CaseDelta, ...]:
         return tuple(d for d in self.deltas if d.comparable and d.regressed(self.threshold))
+
+    @property
+    def rss_regressions(self) -> Tuple[CaseDelta, ...]:
+        return tuple(
+            d for d in self.deltas if d.comparable and d.rss_regressed(self.rss_threshold)
+        )
 
     @property
     def incomparable(self) -> Tuple[CaseDelta, ...]:
@@ -72,6 +97,8 @@ class Comparison:
     def ok(self) -> bool:
         """True when the current trajectory passes the gate."""
         if self.missing or self.regressions or self.incomparable:
+            return False
+        if self.rss_regressions:
             return False
         if self.require_identical and self.digest_mismatches:
             return False
@@ -89,13 +116,19 @@ class Comparison:
     def report(self) -> str:
         """Human-readable multi-line summary."""
         lines: List[str] = [
-            f"perf comparison (threshold {self.threshold:.0%} events/sec regression)"
+            f"perf comparison (threshold {self.threshold:.0%} events/sec regression, "
+            f"{self.rss_threshold:.0%} peak-RSS growth)"
         ]
         for delta in self.deltas:
             if not delta.comparable:
                 status = "INCOMPARABLE (workload fingerprint changed)"
             elif delta.regressed(self.threshold):
                 status = "REGRESSED"
+            elif delta.rss_regressed(self.rss_threshold):
+                status = (
+                    f"RSS REGRESSED ({delta.baseline_rss_mb:.1f} -> "
+                    f"{delta.current_rss_mb:.1f} MiB)"
+                )
             else:
                 status = "ok"
             identity = "identical" if delta.digests_match else "results differ"
@@ -121,11 +154,14 @@ def compare_trajectories(
     current: Trajectory,
     *,
     threshold: float = DEFAULT_THRESHOLD,
+    rss_threshold: float = DEFAULT_RSS_THRESHOLD,
     require_identical: bool = False,
 ) -> Comparison:
     """Diff ``current`` against ``baseline`` case by case."""
     if not 0.0 <= threshold < 1.0:
         raise ValueError("threshold must be in [0, 1)")
+    if not 0.0 <= rss_threshold < 1.0:
+        raise ValueError("rss_threshold must be in [0, 1)")
     notes: List[str] = []
     if baseline.scale != current.scale:
         notes.append(
@@ -155,6 +191,8 @@ def compare_trajectories(
                 current_eps=case.events_per_sec,
                 comparable=comparable,
                 digests_match=digests_match,
+                baseline_rss_mb=base_case.peak_rss_mb,
+                current_rss_mb=case.peak_rss_mb,
             )
         )
     return Comparison(
@@ -164,4 +202,5 @@ def compare_trajectories(
         new=tuple(current_by_name.keys()),
         require_identical=require_identical,
         notes=tuple(notes),
+        rss_threshold=rss_threshold,
     )

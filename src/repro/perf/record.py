@@ -33,7 +33,10 @@ from repro.sim.ssd import SSDSimulator
 SCHEMA_VERSION = 1
 
 #: File-name stem of the committed trajectory for this PR sequence.
-BENCH_ID = "BENCH_5"
+BENCH_ID = "BENCH_6"
+
+#: Number of entries in the per-case cProfile tables written by ``--profile``.
+PROFILE_TOP_N = 25
 
 
 def _peak_rss_kb() -> int:
@@ -70,6 +73,12 @@ class CaseRecord:
     #: Stable content digest over every SimulationResult of the case, in job
     #: order.  Equal digests mean bit-identical results.
     result_digest: str
+    #: ``wall_s`` restated under its plain name, and ``peak_rss_kb`` in MiB -
+    #: the units the memory gate (``compare --rss-threshold``) reasons in.
+    #: Derived from the same measurements; kept as explicit JSON fields so
+    #: downstream tooling does not need to know the KiB convention.
+    wall_time_s: float = 0.0
+    peak_rss_mb: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -139,6 +148,7 @@ def _run_case_once(case: PerfCase) -> CaseRecord:
         results.append(result)
     wall = time.perf_counter() - start
     digest = stable_fingerprint(("perf-results", tuple(results)))
+    rss_kb = _peak_rss_kb()
     return CaseRecord(
         name=case.name,
         description=case.description,
@@ -149,9 +159,33 @@ def _run_case_once(case: PerfCase) -> CaseRecord:
         wall_s=round(wall, 6),
         sim_wall_s=round(sim_wall, 6),
         events_per_sec=round(events / sim_wall, 1) if sim_wall > 0 else 0.0,
-        peak_rss_kb=_peak_rss_kb(),
+        peak_rss_kb=rss_kb,
         result_digest=digest,
+        wall_time_s=round(wall, 6),
+        peak_rss_mb=round(rss_kb / 1024.0, 2),
     )
+
+
+def profile_case(case: PerfCase, top_n: int = PROFILE_TOP_N) -> str:
+    """Run a case once under cProfile and return a top-N cumulative table.
+
+    This is a separate diagnostic pass: the measured trajectory numbers come
+    from unprofiled runs (the profiler's per-call hook would distort them),
+    and this pass is executed additionally when ``record --profile`` asks
+    for it.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _run_case_once(case)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top_n)
+    return buffer.getvalue()
 
 
 def run_case(case: PerfCase, *, repeat: int = 1) -> CaseRecord:
@@ -233,6 +267,10 @@ def load_trajectory(path: Union[str, Path]) -> Trajectory:
                 events_per_sec=float(raw["events_per_sec"]),
                 peak_rss_kb=int(raw.get("peak_rss_kb", 0)),
                 result_digest=raw.get("result_digest", ""),
+                wall_time_s=float(raw.get("wall_time_s", raw["wall_s"])),
+                peak_rss_mb=float(
+                    raw.get("peak_rss_mb", round(int(raw.get("peak_rss_kb", 0)) / 1024.0, 2))
+                ),
             )
         )
     return Trajectory(

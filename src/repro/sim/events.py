@@ -52,13 +52,39 @@ class EventQueue:
         self._sequence = itertools.count()
         self.processed = 0
 
-    def push(self, time_ns: int, kind: EventKind, payload: Any = None) -> tuple:
-        """Schedule an event at ``time_ns``; returns its heap entry."""
+    def push(self, time_ns: int, kind: EventKind, payload: Any = None) -> None:
+        """Schedule an event at ``time_ns``.
+
+        Returns ``None`` deliberately: the heap entry is an internal
+        representation (callers held onto the raw tuple and compared it
+        against drained events, which broke the moment the entry layout
+        changed).  Scheduling is fire-and-forget; cancellation does not
+        exist in this simulator.
+        """
         if time_ns < 0:
             raise ValueError("event time must be non-negative")
-        event = (time_ns, next(self._sequence), kind, payload)
-        heapq.heappush(self._heap, event)
-        return event
+        heapq.heappush(self._heap, (time_ns, next(self._sequence), kind, payload))
+
+    def pop_batch(self) -> Optional[tuple]:
+        """Pop every event at the earliest timestamp, or ``None`` when empty.
+
+        Non-generator single step of :meth:`drain_batch`: returns
+        ``(time_ns, batch)`` with the batch in sequence order and commits
+        ``processed``.  Used by callers that interleave heap batches with
+        another event source (the simulator merges workload arrivals in from
+        a sorted list so the heap never has to hold the whole trace).
+        """
+        heap = self._heap
+        if not heap:
+            return None
+        pop = heapq.heappop
+        time_ns = heap[0][0]
+        batch = [pop(heap)]
+        append = batch.append
+        while heap and heap[0][0] == time_ns:
+            append(pop(heap))
+        self.processed += len(batch)
+        return time_ns, batch
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
@@ -81,6 +107,31 @@ class EventQueue:
         while heap:
             self.processed += 1
             yield pop(heap)
+
+    def drain_batch(self) -> Iterator[tuple]:
+        """Pop runs of same-timestamp raw event tuples until the queue is empty.
+
+        Yields ``(time_ns, batch)`` where ``batch`` is every event currently
+        scheduled at ``time_ns``, in sequence order.  Equivalent to
+        :meth:`drain` - events are still handed out in exact ``(time,
+        sequence)`` order - but the caller advances its clock and re-enters
+        the dispatch loop once per *timestamp* instead of once per event.
+
+        Re-entrancy contract: handlers may push while a batch is being
+        processed.  A push at the current batch timestamp lands in the
+        *next* batch (sequence numbers are monotonic, so this is exactly
+        where :meth:`drain` would have processed it); a push at an earlier
+        timestamp is a contract violation - it is still processed, but only
+        after the current batch, i.e. out of timestamp order.  Handlers must
+        never schedule into the past.
+
+        ``processed`` is committed per batch, when the batch is handed out.
+        """
+        while True:
+            step = self.pop_batch()
+            if step is None:
+                return
+            yield step
 
     def peek_time(self) -> Optional[int]:
         """Time of the earliest event, or ``None`` when empty."""

@@ -60,7 +60,14 @@ class SSDSimulator:
         config: SimulationConfig,
         scheduler_name: str = "SPK3",
         scheduler_options: Optional[Dict[str, object]] = None,
+        *,
+        metrics_history: str = "full",
+        metrics_window: int = 4096,
     ) -> None:
+        # ``metrics_history``/``metrics_window`` are deliberately NOT part of
+        # SimulationConfig: they change how much history the collector
+        # retains, never the simulated behaviour, and config fields feed the
+        # result fingerprints (see repro.sim.config.canonicalize).
         self.config = config
         self.geometry = config.geometry
         self.timing = config.timing
@@ -114,7 +121,7 @@ class SSDSimulator:
         self.callback.add_listener(self.scheduler.on_migration)
 
         # --- bookkeeping ----------------------------------------------------------
-        self.metrics = MetricsCollector()
+        self.metrics = MetricsCollector(history=metrics_history, window=metrics_window)
         self.events = EventQueue()
         self.now_ns = 0
         self._tags_by_io: Dict[int, Tag] = {}
@@ -159,13 +166,16 @@ class SSDSimulator:
         """Replay a workload to completion and return the measured result."""
         ordered = sorted(workload, key=lambda io: (io.arrival_ns, io.io_id))
         self._workload_size = len(ordered)
-        push = self.events.push
-        for io in ordered:
-            push(io.arrival_ns, EventKind.IO_ARRIVAL, io)
-        # Identity-test dispatch ordered by event frequency (compositions,
-        # then transaction lifecycle, then arrivals), with the kind
-        # constants and handler methods bound once outside the loop - no
-        # per-event enum hashing or attribute walks.
+        # The workload is fed straight from the sorted arrival list instead
+        # of being loaded into the event heap: arrivals would all carry lower
+        # sequence numbers than any event a handler schedules, so "arrivals
+        # at time T run before every dynamic event at time T, in sorted
+        # order" is exactly the order the heap would have produced - and the
+        # heap never has to hold the whole trace (peak memory stays flat in
+        # trace length).  Dynamic events are drained in same-timestamp
+        # batches; the clock advances once per timestamp and the
+        # identity-test dispatch (ordered by event frequency, with kind
+        # constants and handlers bound once) runs flat over each batch.
         compose_done = EventKind.COMPOSE_DONE
         transaction_done = EventKind.TRANSACTION_DONE
         decision = EventKind.TRANSACTION_DECISION
@@ -173,16 +183,37 @@ class SSDSimulator:
         handle_done = self._handle_transaction_done
         handle_decision = self._handle_decision
         handle_arrival = self._handle_arrival
-        for time_ns, _, kind, payload in self.events.drain():
+        events = self.events
+        pop_batch = events.pop_batch
+        peek_time = events.peek_time
+        index = 0
+        total = len(ordered)
+        while True:
+            arrival_ns = ordered[index].arrival_ns if index < total else None
+            batch_ns = peek_time()
+            if arrival_ns is not None and (batch_ns is None or arrival_ns <= batch_ns):
+                self.now_ns = arrival_ns
+                admitted = 0
+                while index < total and ordered[index].arrival_ns == arrival_ns:
+                    handle_arrival(ordered[index])
+                    index += 1
+                    admitted += 1
+                events.processed += admitted
+                continue
+            if batch_ns is None:
+                break
+            time_ns, batch = pop_batch()
             self.now_ns = time_ns
-            if kind is compose_done:
-                handle_compose(payload)
-            elif kind is transaction_done:
-                handle_done(payload)
-            elif kind is decision:
-                handle_decision(payload)
-            else:
-                handle_arrival(payload)
+            for event in batch:
+                kind = event[2]
+                if kind is compose_done:
+                    handle_compose(event[3])
+                elif kind is transaction_done:
+                    handle_done(event[3])
+                elif kind is decision:
+                    handle_decision(event[3])
+                else:
+                    handle_arrival(event[3])
         return self._build_result(workload_name)
 
     # ======================================================================
@@ -450,9 +481,15 @@ def run_workload(
     config: Optional[SimulationConfig] = None,
     workload_name: str = "workload",
     scheduler_options: Optional[Dict[str, object]] = None,
+    metrics_history: str = "full",
+    metrics_window: int = 4096,
 ) -> SimulationResult:
     """Convenience wrapper: build a simulator, run one workload, return the result."""
     simulator = SSDSimulator(
-        config or SimulationConfig(), scheduler, scheduler_options=scheduler_options
+        config or SimulationConfig(),
+        scheduler,
+        scheduler_options=scheduler_options,
+        metrics_history=metrics_history,
+        metrics_window=metrics_window,
     )
     return simulator.run(workload, workload_name=workload_name)

@@ -155,4 +155,4 @@ class TestCollection:
         for lpn in written[: len(written) // 2]:
             ftl.translate_write(lpn)
         job = gc.collect((0, 0), 0, 0)
-        assert gc.history == [((0, 0), 0, 0, job.victim_block, job.pages_moved)]
+        assert list(gc.history) == [((0, 0), 0, 0, job.victim_block, job.pages_moved)]
