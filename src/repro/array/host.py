@@ -145,14 +145,23 @@ class ArraySimulation:
     def __init__(
         self,
         layout: ArrayLayout,
-        config,
+        config=None,
         scheduler: str = "SPK3",
         scheduler_options: Optional[Dict[str, Any]] = None,
+        *,
+        devices: Sequence[str] = (),
     ) -> None:
+        """``config`` is the shared per-device configuration (homogeneous
+        arrays); ``devices`` is one device-zoo id per slot (heterogeneous
+        arrays).  Exactly one of the two must be given - the constraint is
+        enforced by :class:`~repro.experiments.spec.ArraySpec` when the spec
+        is built.
+        """
         self.layout = layout
         self.config = config
         self.scheduler = scheduler
         self.scheduler_options = scheduler_options or {}
+        self.devices = tuple(devices)
 
     def spec(self, workload, key: Tuple[Any, ...] = ()):
         """The :class:`~repro.experiments.spec.ArraySpec` for one workload."""
@@ -170,6 +179,7 @@ class ArraySimulation:
             shard_bytes=self.layout.shard_bytes,
             scheduler_options=tuple(sorted(self.scheduler_options.items())),
             key=key,
+            devices=self.devices,
         )
 
     def run(self, workload, engine=None) -> ArrayResult:

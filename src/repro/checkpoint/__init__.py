@@ -1,0 +1,27 @@
+"""Simulator checkpoint/restore: snapshot a run at any event boundary.
+
+Long-horizon simulations (multi-day traces, fleet sweeps) resume instead of
+rerun: ``SSDSimulator.run(max_events=T)`` pauses at a deterministic event
+boundary, :meth:`~repro.sim.ssd.SSDSimulator.checkpoint` captures the full
+simulator state as a versioned, schema-checked snapshot, and
+:meth:`~repro.sim.ssd.SSDSimulator.resume` reconstructs a simulator that
+continues **bit-identically** to an uninterrupted run.
+:class:`CheckpointStore` persists snapshots keyed by ``(job fingerprint,
+events processed)``; :func:`run_job_checkpointed` is the engine's
+checkpoint-aware job executor.
+"""
+
+from repro.checkpoint.snapshot import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    SimulatorCheckpoint,
+)
+from repro.checkpoint.store import CheckpointStore, run_job_checkpointed
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "CheckpointStore",
+    "SimulatorCheckpoint",
+    "run_job_checkpointed",
+]

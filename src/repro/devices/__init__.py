@@ -1,0 +1,30 @@
+"""The device zoo: declarative, fingerprinted device definitions.
+
+The paper's evaluation hand-codes one device; this package externalizes
+device models into small TOML/JSON files (``repro/devices/zoo/``) so
+experiments can name devices (``SimJob(device="mlc-gen2")``), arrays can mix
+heterogeneous generations, and a zoo edit invalidates exactly the cached
+results computed against the edited device.
+"""
+
+from repro.devices.loader import DeviceConfigError, load_device_file
+from repro.devices.model import DEVICE_ZOO_VERSION, DeviceModel
+from repro.devices.registry import (
+    ZOO_DIR,
+    DeviceRegistry,
+    default_registry,
+    device_config,
+    device_model,
+)
+
+__all__ = [
+    "DEVICE_ZOO_VERSION",
+    "DeviceConfigError",
+    "DeviceModel",
+    "DeviceRegistry",
+    "ZOO_DIR",
+    "default_registry",
+    "device_config",
+    "device_model",
+    "load_device_file",
+]

@@ -1,0 +1,91 @@
+"""The validated, fingerprintable form of one zoo device definition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Tuple
+
+from repro.flash.geometry import SSDGeometry
+from repro.flash.timing import FlashTiming
+
+#: Bump when the mapping from device files to SimulationConfig changes in a
+#: way that must invalidate results computed against zoo devices.
+DEVICE_ZOO_VERSION = 1
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """One device of the zoo: identity, shape, timing and device-level knobs.
+
+    The model is the in-memory form of a ``zoo/*.toml`` (or ``.json``)
+    definition, already validated field-by-field by
+    :func:`repro.devices.loader.load_device_file`.  :meth:`to_config`
+    composes it into the :class:`~repro.sim.config.SimulationConfig` the
+    simulator runs, and :meth:`fingerprint` hashes the *content* of the
+    definition - so any edit to a zoo file changes the fingerprint of
+    exactly the jobs that resolve that device, and nothing else.
+    """
+
+    name: str
+    description: str
+    cell: str
+    generation: int
+    tags: FrozenSet[str]
+    geometry: SSDGeometry
+    timing: FlashTiming
+    #: Sorted ``(field, value)`` pairs for the device-level SimulationConfig
+    #: knobs ([config] section): queue depth, GC settings, OP fraction ...
+    settings: Tuple[Tuple[str, Any], ...] = ()
+    #: Path the definition was loaded from; error-message context only -
+    #: deliberately excluded from the fingerprint so moving a file between
+    #: zoo directories does not invalidate cached results.
+    source: str = ""
+
+    def to_config(self, **overrides):
+        """Compose the full :class:`~repro.sim.config.SimulationConfig`.
+
+        ``overrides`` replace device-level fields (including ``geometry`` /
+        ``timing``) for experiments that sweep one knob of a zoo device.
+        """
+        from repro.sim.config import SimulationConfig  # lazy: avoids import cycle
+
+        fields = dict(self.settings)
+        fields.update(overrides)
+        fields.setdefault("geometry", self.geometry)
+        fields.setdefault("timing", self.timing)
+        return SimulationConfig(**fields)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the whole definition (identity + knobs)."""
+        from repro.sim.config import stable_fingerprint
+
+        return stable_fingerprint(
+            (
+                "device-model",
+                DEVICE_ZOO_VERSION,
+                self.name,
+                self.cell,
+                self.generation,
+                self.tags,
+                self.geometry,
+                self.timing,
+                self.settings,
+            )
+        )
+
+    def summary_row(self) -> dict:
+        """One row of the zoo listing tables (README / example output)."""
+        geometry = self.geometry
+        return {
+            "name": self.name,
+            "cell": self.cell,
+            "generation": self.generation,
+            "chips": geometry.num_chips,
+            "channels": geometry.num_channels,
+            "planes": geometry.num_planes,
+            "capacity_mb": geometry.capacity_bytes // (1024 * 1024),
+            "page_kb": geometry.page_size_bytes / 1024.0,
+            "read_us": self.timing.read_ns / 1000.0,
+            "program_us": self.timing.program_fast_ns / 1000.0,
+            "tags": ",".join(sorted(self.tags)),
+        }

@@ -16,7 +16,8 @@ cache keyed by the job's content fingerprint: re-running a figure with one
 knob changed only re-simulates the affected cells.
 
 Command-line entry points share the ``--backend/--workers/--cache-dir``
-flags via :func:`add_engine_arguments` / :func:`engine_from_cli`::
+(and ``--checkpoint-dir/--checkpoint-every``) flags via
+:func:`add_engine_arguments` / :func:`engine_from_cli`::
 
     PYTHONPATH=src python -m repro.experiments.figure10 --backend process --workers 8
 """
@@ -25,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import copy
+import functools
 import os
 import pickle
 import tempfile
@@ -39,10 +41,29 @@ from repro.workloads.request import IORequest
 
 BACKENDS = ("serial", "process")
 
+#: Default snapshot cadence for ``--checkpoint-dir`` runs: frequent enough
+#: that an interrupted multi-hour job loses minutes, rare enough that
+#: snapshot serialization stays far below simulation cost.
+DEFAULT_CHECKPOINT_EVERY = 250_000
+
 
 def _execute_job(job: SimJob) -> SimulationResult:
     """Top-level job runner (must be picklable for the process backend)."""
     return job.execute()
+
+
+def _execute_job_checkpointed(job: SimJob, directory: str, every_events: int) -> SimulationResult:
+    """Job runner that persists periodic checkpoints (picklable, like above).
+
+    Bit-identical to :func:`_execute_job` - the checkpoint subsystem's
+    digest-identity contract - but an interrupted run resumes from its
+    latest ``(fingerprint, T)`` snapshot instead of restarting.
+    """
+    from repro.checkpoint.store import CheckpointStore, run_job_checkpointed
+
+    return run_job_checkpointed(
+        job, CheckpointStore(directory), every_events=every_events
+    )
 
 
 def _build_workload(spec: WorkloadSpec) -> List[IORequest]:
@@ -122,15 +143,44 @@ class ExecutionEngine:
         *,
         max_workers: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive (or None for CPU count)")
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
         self.backend = backend
         self.max_workers = max_workers
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        # With a checkpoint dir, every job executes through the resumable
+        # runner: snapshots are persisted every ``checkpoint_every`` events
+        # keyed by (job fingerprint, T), and a rerun of an interrupted batch
+        # picks each unfinished job up from its latest snapshot.  Results
+        # stay bit-identical to plain execution, so the result cache and
+        # both backends compose with it unchanged.
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self.checkpoint_every = checkpoint_every
+        if self.checkpoint_dir is not None:
+            # Validate the directory now, like ResultCache does, so a bad
+            # path fails at engine construction rather than mid-batch.
+            from repro.checkpoint.store import CheckpointStore
+
+            CheckpointStore(self.checkpoint_dir)
         self.stats = EngineStats()
+
+    @property
+    def _job_executor(self):
+        """The per-job execution function (checkpoint-aware when configured)."""
+        if self.checkpoint_dir is None:
+            return _execute_job
+        return functools.partial(
+            _execute_job_checkpointed,
+            directory=str(self.checkpoint_dir),
+            every_events=self.checkpoint_every,
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -173,7 +223,7 @@ class ExecutionEngine:
         # batch), so an interrupted long sweep keeps the work it finished.
         representatives = [indices[0] for indices in pending.values()]
         for index, result in self._execute_indexed(
-            [jobs[i] for i in representatives], _execute_job, representatives
+            [jobs[i] for i in representatives], self._job_executor, representatives
         ):
             for duplicate in pending[fingerprints[index]]:
                 # Deep-copy for the duplicates so cold-path results are
@@ -250,12 +300,31 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPa
         default=None,
         help="directory memoizing completed jobs by content fingerprint",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory persisting periodic job checkpoints; an interrupted "
+        "run resumes from its latest snapshot instead of restarting",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=DEFAULT_CHECKPOINT_EVERY,
+        help="events between persisted checkpoints for --checkpoint-dir "
+        f"(default: {DEFAULT_CHECKPOINT_EVERY})",
+    )
     return parser
 
 
 def engine_from_args(args: argparse.Namespace) -> ExecutionEngine:
     """Build an engine from a parsed :func:`add_engine_arguments` namespace."""
-    return ExecutionEngine(args.backend, max_workers=args.workers, cache_dir=args.cache_dir)
+    return ExecutionEngine(
+        args.backend,
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        checkpoint_every=getattr(args, "checkpoint_every", DEFAULT_CHECKPOINT_EVERY),
+    )
 
 
 def engine_from_cli(description: str, argv: Optional[Sequence[str]] = None) -> ExecutionEngine:

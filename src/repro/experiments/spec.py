@@ -146,6 +146,15 @@ class WorkloadSpec:
 class SimJob:
     """One independent ``(workload, scheduler, config)`` simulation.
 
+    The device under test is given either as an explicit ``config`` or as a
+    ``device`` id resolved from the shipped device zoo
+    (:mod:`repro.devices`), optionally adjusted via ``device_overrides``
+    (frozen ``(field, value)`` pairs applied with ``with_overrides``).
+    Fingerprints always cover the *resolved* configuration, so editing a
+    zoo file invalidates exactly the cached results of the jobs that used
+    that device - and a zoo job whose device resolves to the same config as
+    an explicit-config job shares its cache entry.
+
     ``key`` is whatever tuple the declaring experiment wants results keyed
     by (e.g. ``(trace, scheduler)`` or ``(chips, size_kb, scheduler)``);
     it does not enter the fingerprint, so relabelling cells never invalidates
@@ -154,21 +163,43 @@ class SimJob:
 
     workload: WorkloadSpec
     scheduler: str
-    config: SimulationConfig
+    config: Optional[SimulationConfig] = None
     scheduler_options: Tuple[Tuple[str, Any], ...] = ()
     key: Tuple[Any, ...] = ()
+    #: Device-zoo id (e.g. ``"mlc-gen2"``), resolved through
+    #: :func:`repro.devices.device_config`.  Exactly one of
+    #: ``config``/``device`` must be set.
+    device: Optional[str] = None
+    device_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if (self.config is None) == (self.device is None):
+            raise ValueError("set exactly one of config= or device= on a SimJob")
+        if self.device_overrides and self.device is None:
+            raise ValueError("device_overrides requires device=")
 
     @property
     def options_dict(self) -> Optional[Dict[str, Any]]:
         """Scheduler options as the keyword dict ``SSDSimulator`` expects."""
         return dict(self.scheduler_options) if self.scheduler_options else None
 
+    @property
+    def resolved_config(self) -> SimulationConfig:
+        """The full configuration this job simulates (zoo ids resolved)."""
+        if self.config is not None:
+            return self.config
+        from repro.devices import device_config  # lazy: zoo loads on demand
+
+        return device_config(self.device, **dict(self.device_overrides))
+
     def fingerprint(self) -> str:
         """Content hash over everything that influences the result.
 
         Any change to the workload recipe, the scheduler, a scheduler option
         or *any* config knob (geometry, timing, GC, callbacks ...) yields a
-        different fingerprint; the engine's result cache keys on this.
+        different fingerprint; the engine's result cache keys on this.  Zoo
+        devices enter by resolved content, never by id - renaming a device
+        without changing its definition does not invalidate anything.
         """
         return stable_fingerprint(
             (
@@ -179,14 +210,16 @@ class SimJob:
                 # Sorted so semantically equal option sets fingerprint the
                 # same however the caller ordered the pairs.
                 tuple(sorted(self.scheduler_options)),
-                self.config,
+                self.resolved_config,
             )
         )
 
     def execute(self) -> SimulationResult:
         """Run this job on a fresh simulator (the engine's unit of work)."""
         workload = self.workload.build()
-        simulator = SSDSimulator(self.config, self.scheduler, scheduler_options=self.options_dict)
+        simulator = SSDSimulator(
+            self.resolved_config, self.scheduler, scheduler_options=self.options_dict
+        )
         return simulator.run(workload, workload_name=self.workload.name)
 
 
@@ -208,12 +241,33 @@ class ArraySpec:
     workload: WorkloadSpec
     num_devices: int
     scheduler: str
-    config: SimulationConfig
+    config: Optional[SimulationConfig] = None
     policy: str = "stripe"
     chunk_bytes: int = 64 * 1024
     shard_bytes: Optional[int] = None
     scheduler_options: Tuple[Tuple[str, Any], ...] = ()
     key: Tuple[Any, ...] = ()
+    #: Per-slot device-zoo ids - the heterogeneous-array form.  When set,
+    #: one id per device slot (``len(devices) == num_devices``) and
+    #: ``config`` must be ``None``; slot *i* simulates zoo device
+    #: ``devices[i]``.  Homogeneous arrays keep using ``config``.
+    devices: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if (self.config is None) == (not self.devices):
+            raise ValueError("set exactly one of config= or devices= on an ArraySpec")
+        if self.devices and len(self.devices) != self.num_devices:
+            raise ValueError(
+                f"devices= lists {len(self.devices)} ids for {self.num_devices} slots"
+            )
+
+    def slot_config(self, device_index: int) -> SimulationConfig:
+        """The resolved configuration of one device slot."""
+        if self.config is not None:
+            return self.config
+        from repro.devices import device_config
+
+        return device_config(self.devices[device_index])
 
     def layout(self):
         """The :class:`repro.array.layout.ArrayLayout` this spec describes."""
@@ -228,7 +282,19 @@ class ArraySpec:
         )
 
     def fingerprint(self) -> str:
-        """Content hash over the workload recipe, layout and device setup."""
+        """Content hash over the workload recipe, layout and device setup.
+
+        Homogeneous arrays hash the shared config (byte-compatible with
+        pre-zoo fingerprints); heterogeneous arrays hash the per-slot
+        *resolved* configs, so a zoo edit invalidates exactly the arrays
+        containing the edited device.
+        """
+        if self.config is not None:
+            config_entry: Any = self.config
+        else:
+            config_entry = tuple(
+                self.slot_config(device) for device in range(self.num_devices)
+            )
         return stable_fingerprint(
             (
                 "array",
@@ -240,7 +306,7 @@ class ArraySpec:
                 self.shard_bytes,
                 self.scheduler,
                 tuple(sorted(self.scheduler_options)),
-                self.config,
+                config_entry,
             )
         )
 
@@ -265,6 +331,7 @@ class ArraySpec:
                 ),
                 scheduler=self.scheduler,
                 config=self.config,
+                device=self.devices[device] if self.devices else None,
                 scheduler_options=self.scheduler_options,
                 key=self.key + (device,),
             )

@@ -139,7 +139,9 @@ def _run_case_once(case: PerfCase) -> CaseRecord:
     start = time.perf_counter()
     for job in case.jobs:
         workload = job.workload.build()
-        simulator = SSDSimulator(job.config, job.scheduler, scheduler_options=job.options_dict)
+        simulator = SSDSimulator(
+            job.resolved_config, job.scheduler, scheduler_options=job.options_dict
+        )
         run_start = time.perf_counter()
         result = simulator.run(workload, workload_name=job.workload.name)
         sim_wall += time.perf_counter() - run_start

@@ -1,6 +1,6 @@
 """The canonical performance suite.
 
-Six pinned-seed workloads chosen to cover every layer the simulator's hot
+Seven pinned-seed workloads chosen to cover every layer the simulator's hot
 path flows through, at two sizes:
 
 ========  =============================================================
@@ -12,6 +12,7 @@ array4    a 4-device array cell - many small per-device simulations
 bursty    the MMPP multi-tenant scenario - queue backlog + FARO bursts
 aged      a steady-state aged device - GC firing on every write
 gcheavy   a 95%-prefilled fragmented device under random overwrites
+zoo       a heterogeneous 2-device zoo array (mlc-gen2 + tlc-gen3)
 ========  =============================================================
 
 Every case is a tuple of ordinary :class:`~repro.experiments.spec.SimJob`
@@ -34,6 +35,7 @@ from repro.scenarios.library import (
     aged_device_state,
     bursty_multitenant_scenario,
     sustained_write_scenario,
+    zoo_probe_scenario,
 )
 from repro.sim.config import SimulationConfig
 
@@ -206,8 +208,26 @@ def _gc_heavy_case(factor: int) -> PerfCase:
     )
 
 
+def _zoo_case(factor: int) -> PerfCase:
+    spec = ArraySpec(
+        workload=WorkloadSpec.scenario(
+            zoo_probe_scenario(num_requests=48 * factor, seed=11)
+        ),
+        num_devices=2,
+        scheduler="SPK3",
+        devices=("mlc-gen2", "tlc-gen3"),
+        policy="stripe",
+        key=("zoo",),
+    )
+    return PerfCase(
+        name="zoo",
+        description="heterogeneous zoo array: mlc-gen2 + tlc-gen3 under SPK3",
+        jobs=spec.device_jobs(),
+    )
+
+
 def canonical_suite(scale: str = "quick") -> Tuple[PerfCase, ...]:
-    """The six canonical cases at the requested ``quick``/``full`` size."""
+    """The seven canonical cases at the requested ``quick``/``full`` size."""
     factor = _scale_factor(scale)
     return (
         _figure06_case(factor),
@@ -216,6 +236,7 @@ def canonical_suite(scale: str = "quick") -> Tuple[PerfCase, ...]:
         _bursty_case(factor),
         _aged_case(factor),
         _gc_heavy_case(factor),
+        _zoo_case(factor),
     )
 
 
@@ -223,7 +244,8 @@ def tiny_suite() -> Tuple[PerfCase, ...]:
     """Miniature pinned-seed cases used by the bit-identity regression tests.
 
     Same layers as the canonical suite (scheduler grid, array, scenario,
-    aged device, GC pressure) but sized to run in well under a second each:
+    aged device, GC pressure, heterogeneous zoo array) but sized to run in
+    well under a second each:
     their result digests are recorded as goldens
     (``tests/data/perf_golden.json``) so any change to simulation semantics
     - intended or not - shows up as a digest mismatch in the test suite,
@@ -305,6 +327,23 @@ def tiny_suite() -> Tuple[PerfCase, ...]:
     gc_config = base.with_overrides(
         geometry=aged_geometry, gc_enabled=True, prefill_fraction=0.95
     )
+    zoo = PerfCase(
+        name="tiny-zoo",
+        description="heterogeneous slc-gen1 + mlc-gen1 array over 12 requests",
+        jobs=ArraySpec(
+            workload=WorkloadSpec.random(
+                "tiny-zoo-base",
+                num_requests=12,
+                size_bytes=64 * KB,
+                address_space_bytes=64 * MB,
+                seed=7,
+            ),
+            num_devices=2,
+            scheduler="SPK3",
+            devices=("slc-gen1", "mlc-gen1"),
+            key=("tiny-zoo",),
+        ).device_jobs(),
+    )
     gc_pressure = PerfCase(
         name="tiny-gc",
         description="95%-prefilled 8-chip device under 16 random overwrites",
@@ -326,4 +365,4 @@ def tiny_suite() -> Tuple[PerfCase, ...]:
             ),
         ),
     )
-    return (grid, array, scenario, aged, gc_pressure)
+    return (grid, array, scenario, aged, gc_pressure, zoo)

@@ -177,6 +177,38 @@ def sustained_write_scenario(
     )
 
 
+def zoo_probe_scenario(*, num_requests: int = 48, seed: int = 11) -> Scenario:
+    """A device-portable probe for sweeping one workload across the zoo.
+
+    Mixed read/write Poisson traffic confined to a 16 MB address window -
+    small enough to fit the *logical* capacity of every shipped device in
+    :mod:`repro.devices` (the smallest, ``slc-gen1``, exposes ~119 MB after
+    over-provisioning), so the same scenario is byte-for-byte valid on all
+    of them and cross-device comparisons measure the device, not workload
+    truncation.
+    """
+    return Scenario(
+        name="zoo-probe",
+        seed=seed,
+        phases=(
+            Phase(
+                name="probe",
+                tenants=(
+                    Tenant.random(
+                        "prober",
+                        num_requests=num_requests,
+                        size_bytes=16 * KB,
+                        address_space_bytes=16 * MB,
+                        read_fraction=0.5,
+                        seed=seed,
+                    ),
+                ),
+                arrivals=PoissonArrivals(mean_interarrival_ns=3_000),
+            ),
+        ),
+    )
+
+
 def aged_device_state(*, steady_state: bool = False, seed: int = 11) -> DeviceState:
     """The canned aged starting point :func:`sustained_write_scenario` targets.
 

@@ -45,6 +45,14 @@ def canonicalize(value) -> object:
         )
     if isinstance(value, (list, tuple)):
         return ("seq",) + tuple(canonicalize(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        # Sets are unordered; sort the canonical forms by repr (every
+        # canonical form is a primitive or a tuple of primitives, whose
+        # reprs are stable across sessions) so the same membership always
+        # produces the same fingerprint.  ``set`` and ``frozenset`` of equal
+        # membership are deliberately indistinguishable - device-zoo tag
+        # sets thaw as either depending on the loader path.
+        return ("set",) + tuple(sorted((canonicalize(item) for item in value), key=repr))
     if value is None or isinstance(value, (str, int, float, bool, bytes)):
         return value
     raise TypeError(f"cannot canonicalize {type(value).__name__} for fingerprinting")

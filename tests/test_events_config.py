@@ -216,3 +216,47 @@ class TestSimulationConfig:
         geometry = SSDGeometry(num_channels=2, chips_per_channel=2)
         config = SimulationConfig(geometry=geometry)
         assert config.geometry.num_chips == 4
+
+
+class TestCanonicalizeSets:
+    """Sets and frozensets must canonicalize deterministically.
+
+    Device models carry ``tags`` as a frozenset; before PR 7,
+    ``canonicalize`` rejected set types outright, and a naive
+    ``tuple(the_set)`` would have made fingerprints depend on hash-iteration
+    order - silently unstable across processes with randomized hashing.
+    """
+
+    def test_equal_sets_fingerprint_identically(self):
+        from repro.sim.config import stable_fingerprint
+
+        assert stable_fingerprint({"b", "a", "c"}) == stable_fingerprint({"c", "a", "b"})
+        assert stable_fingerprint(frozenset({1, 2, 3})) == stable_fingerprint(
+            frozenset({3, 2, 1})
+        )
+
+    def test_set_and_frozenset_are_interchangeable(self):
+        from repro.sim.config import stable_fingerprint
+
+        assert stable_fingerprint({"a", "b"}) == stable_fingerprint(frozenset({"a", "b"}))
+
+    def test_canonical_form_is_sorted_and_tagged(self):
+        from repro.sim.config import canonicalize
+
+        assert canonicalize({"b", "a"}) == ("set", "a", "b")
+
+    def test_set_differs_from_equivalent_tuple(self):
+        from repro.sim.config import stable_fingerprint
+
+        assert stable_fingerprint({"a", "b"}) != stable_fingerprint(("a", "b"))
+
+    def test_golden_fingerprint_is_pinned(self):
+        # Regression pin: this exact value must survive refactors, or every
+        # cached result computed against a tagged device silently invalidates.
+        from repro.sim.config import stable_fingerprint
+
+        assert (
+            stable_fingerprint(frozenset({"mlc", "gen2", "paper"}))
+            == stable_fingerprint(frozenset({"paper", "gen2", "mlc"}))
+            == "a272641355f0d3eae01fa487a2206afc2462a00d114d980e6d3bc3788ba54f39"
+        )

@@ -218,7 +218,15 @@ class TestSuiteDefinitions:
     def test_canonical_suite_shape(self):
         suite = canonical_suite("quick")
         names = [case.name for case in suite]
-        assert names == ["figure06", "transfer", "array4", "bursty", "aged", "gcheavy"]
+        assert names == [
+            "figure06",
+            "transfer",
+            "array4",
+            "bursty",
+            "aged",
+            "gcheavy",
+            "zoo",
+        ]
         assert all(case.jobs for case in suite)
 
     def test_full_scale_grows_workloads(self):
