@@ -38,13 +38,15 @@ from repro.ftl.mapping import PageMapFTL
 from repro.metrics.collector import MetricsCollector
 from repro.nvmhc.dma import DmaEngine
 from repro.nvmhc.queue import DeviceQueue
+from repro.obs.trace import TraceSink
 from repro.sim.config import SimulationConfig
 from repro.sim.events import EventQueue
 
 #: Bump when the snapshot layout changes incompatibly; old checkpoints are
 #: rejected (a stale resume silently diverging would be far worse than a
-#: rerun).
-CHECKPOINT_VERSION = 1
+#: rerun).  Version 2 added the observability state (``sink``/``_tracing``):
+#: a traced run's span history rides inside the snapshot and resumes intact.
+CHECKPOINT_VERSION = 2
 
 
 class CheckpointError(Exception):
@@ -78,6 +80,8 @@ _STATE_SCHEMA = {
     "dma": lambda v: isinstance(v, DmaEngine),
     "scheduler": lambda v: isinstance(v, SchedulerBase),
     "callback": lambda v: isinstance(v, ReaddressingCallback),
+    "sink": lambda v: isinstance(v, TraceSink),
+    "_tracing": lambda v: isinstance(v, bool),
     "metrics": lambda v: isinstance(v, MetricsCollector),
     "events": lambda v: isinstance(v, EventQueue),
     "now_ns": lambda v: isinstance(v, int) and not isinstance(v, bool),

@@ -124,6 +124,7 @@ def run_job_checkpointed(
     *,
     every_events: int,
     keep_checkpoints: bool = False,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> SimulationResult:
     """Run one engine job with periodic persistent checkpoints.
 
@@ -133,6 +134,11 @@ def run_job_checkpointed(
     bit-identical to ``job.execute()`` - the digest-identity contract of
     :mod:`repro.checkpoint.snapshot` - so the engine treats this as a
     drop-in job executor (see ``ExecutionEngine(checkpoint_dir=...)``).
+
+    With ``trace_dir`` set, fresh runs attach a memory trace sink; the sink
+    rides inside every checkpoint (resumed runs continue accumulating spans
+    where they left off) and the completed run's Chrome-trace artifact is
+    written into the directory.
 
     Completed jobs discard their checkpoints by default (the engine's
     result cache memoizes the finished result; keeping the trail of
@@ -149,9 +155,17 @@ def run_job_checkpointed(
             max_events=simulator.events.processed + every_events
         )
     else:
+        sink = None
+        if trace_dir is not None:
+            from repro.obs.trace import MemoryTraceSink
+
+            sink = MemoryTraceSink()
         workload = job.workload.build()
         simulator = SSDSimulator(
-            job.resolved_config, job.scheduler, scheduler_options=job.options_dict
+            job.resolved_config,
+            job.scheduler,
+            scheduler_options=job.options_dict,
+            trace_sink=sink,
         )
         result = simulator.run(
             workload, workload_name=job.workload.name, max_events=every_events
@@ -161,6 +175,10 @@ def run_job_checkpointed(
         result = simulator.run_to_completion(
             max_events=simulator.events.processed + every_events
         )
+    if trace_dir is not None and simulator.sink.enabled:
+        from repro.obs.export import write_job_trace
+
+        write_job_trace(trace_dir, job, simulator.sink, result)
     if not keep_checkpoints:
         store.discard(fingerprint)
     return result

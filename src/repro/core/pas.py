@@ -20,7 +20,7 @@ Its two remaining weaknesses (which Sprinkler removes) are preserved here:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.core.scheduler import SchedulerBase
 from repro.flash.request import MemoryRequest
@@ -42,6 +42,14 @@ class PhysicalAddressScheduler(SchedulerBase):
         #: composed at any instant - remembering it saves the "find the
         #: started I/O" scan over the whole queue on every composition.
         self._current: Optional[Tag] = None
+        #: Queued I/Os bypassed because a target chip held outstanding work
+        #: (each skip is one out-of-order reordering decision).
+        self._conflict_skips = 0
+
+    def observability_counters(self) -> Dict[str, int]:
+        counters = super().observability_counters()
+        counters["scheduler.conflict_skips"] = self._conflict_skips
+        return counters
 
     def next_composition(self, now_ns: int) -> Optional[MemoryRequest]:
         """Continue a partially-composed I/O, else start a conflict-free one."""
@@ -73,6 +81,7 @@ class PhysicalAddressScheduler(SchedulerBase):
                 break
             for chip_key in tag.by_chip:
                 if chip_key in controllers[chip_key[0]].busy:
+                    self._conflict_skips += 1
                     break  # collision: try the next queued I/O
             else:
                 request = tag.next_uncomposed()

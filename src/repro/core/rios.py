@@ -35,6 +35,8 @@ class RiosTraversal:
         self._order: List[tuple] = list(self._build_order())
         self._index = {chip_key: index for index, chip_key in enumerate(self._order)}
         self._cursor = 0
+        #: Successful chip selections handed out (observability counter).
+        self.visits = 0
 
     def _build_order(self):
         if self.channel_first:
@@ -78,6 +80,7 @@ class RiosTraversal:
             chip_key = self._order[index]
             if has_work(chip_key):
                 self._cursor = (index + 1) % total
+                self.visits += 1
                 return chip_key
         return None
 
@@ -109,6 +112,7 @@ class RiosTraversal:
         if index >= total:
             index -= total
         self._cursor = index + 1 if index + 1 < total else 0
+        self.visits += 1
         return self._order[index]
 
     def __len__(self) -> int:

@@ -31,6 +31,7 @@ from repro.flash.geometry import PhysicalPageAddress, SSDGeometry
 from repro.flash.request import MemoryRequest
 from repro.flash.transaction import FlashTransaction
 from repro.nvmhc.tag import Tag
+from repro.obs.trace import NULL_SINK, TraceSink
 
 
 @dataclass
@@ -72,6 +73,27 @@ class SchedulerBase(abc.ABC):
         #: Registered force-unit-access tags not yet retired.  Zero almost
         #: always, which lets hot paths skip the per-composition FUA scan.
         self._fua_live = 0
+        #: Observability: trace sink plus FUA counters, all maintained on
+        #: the (cold) FUA branches only.
+        self.sink: TraceSink = NULL_SINK
+        self._fua_seen = 0
+        self._fua_barriers = 0
+
+    def attach_trace_sink(self, sink: TraceSink) -> None:
+        """Install the simulator's trace sink (default: the null sink)."""
+        self.sink = sink
+
+    def observability_counters(self) -> Dict[str, int]:
+        """Scheduler-specific counter snapshot folded into the registry.
+
+        Subclasses extend the base dict with their policy-specific counters
+        (RIOS traversal visits, VAS head-of-line stalls, PAS conflict skips,
+        Sprinkler bursts).
+        """
+        return {
+            "scheduler.fua_tags": self._fua_seen,
+            "scheduler.fua_barriers": self._fua_barriers,
+        }
 
     # ------------------------------------------------------------------
     # Queue events
@@ -81,6 +103,15 @@ class SchedulerBase(abc.ABC):
         self.tags.append(tag)
         if tag.io.force_unit_access:
             self._fua_live += 1
+            self._fua_seen += 1
+            if self.sink.enabled:
+                self.sink.instant(
+                    "fua.tag",
+                    category="nvmhc",
+                    track="nvmhc",
+                    ts_ns=now_ns,
+                    io_id=tag.io_id,
+                )
 
     def on_tag_retired(self, tag: Tag) -> None:
         """A tag completed and left the device queue."""
@@ -141,6 +172,7 @@ class SchedulerBase(abc.ABC):
             if earlier.io_id == tag_io_id:
                 return False
             if earlier.io.force_unit_access and not earlier.fully_composed:
+                self._fua_barriers += 1
                 return True
         return False
 

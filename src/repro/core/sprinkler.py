@@ -78,6 +78,11 @@ class Sprinkler(SchedulerBase):
         self._work_indices: set = set()
         self.allows_overcommit = use_faro
         self.name = self._variant_name()
+        #: Observability counters: over-commit bursts handed to the DMA
+        #: pipeline and the requests they carried (maintained once per burst,
+        #: not per request).
+        self._bursts = 0
+        self._burst_requests = 0
 
     def _variant_name(self) -> str:
         if self.use_rios and self.use_faro:
@@ -125,6 +130,15 @@ class Sprinkler(SchedulerBase):
         if any(tag.io.force_unit_access for tag in pending):
             # Hazard control: a force-unit-access request disables reordering;
             # fall back to strict arrival order until it drains.
+            self._fua_barriers += 1
+            if self.sink.enabled:
+                self.sink.instant(
+                    "fua.barrier",
+                    category="nvmhc",
+                    track="nvmhc",
+                    ts_ns=now_ns,
+                    pending_tags=len(pending),
+                )
             return self._next_fifo(pending)
         if self.use_rios:
             return self._next_rios(pending)
@@ -167,6 +181,8 @@ class Sprinkler(SchedulerBase):
                     self._chip_queues[chip_key] = leftover + existing
             head, rest = burst[0], burst[1:]
             self._burst = deque(rest)
+            self._bursts += 1
+            self._burst_requests += len(burst)
             return head
         return None
 
@@ -191,6 +207,8 @@ class Sprinkler(SchedulerBase):
         burst = ordered[: self.overcommit_limit]
         head, rest = burst[0], burst[1:]
         self._burst = deque(rest)
+        self._bursts += 1
+        self._burst_requests += len(burst)
         return head
 
     # ------------------------------------------------------------------
@@ -266,3 +284,13 @@ class Sprinkler(SchedulerBase):
         self, chip_key: tuple, transaction: FlashTransaction, now_ns: int
     ) -> None:
         """Nothing to do: Sprinkler does not gate composition on completions."""
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def observability_counters(self) -> Dict[str, int]:
+        counters = super().observability_counters()
+        counters["scheduler.bursts"] = self._bursts
+        counters["scheduler.burst_requests"] = self._burst_requests
+        counters["scheduler.rios_visits"] = self.traversal.visits
+        return counters

@@ -17,9 +17,9 @@ the head-of-line blocking rule applies.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
-from repro.core.scheduler import SchedulerBase
+from repro.core.scheduler import SchedulerBase, SchedulerContext
 from repro.flash.request import MemoryRequest
 from repro.nvmhc.tag import Tag
 
@@ -31,6 +31,17 @@ class VirtualAddressScheduler(SchedulerBase):
     uses_physical_layout = False
     allows_overcommit = False
     uses_readdressing_callback = False
+
+    def __init__(self, context: SchedulerContext) -> None:
+        super().__init__(context)
+        #: Compositions refused because the head I/O collided with
+        #: outstanding chip work (the paper's Figure 4a stall).
+        self._hol_stalls = 0
+
+    def observability_counters(self) -> Dict[str, int]:
+        counters = super().observability_counters()
+        counters["scheduler.hol_stalls"] = self._hol_stalls
+        return counters
 
     def next_composition(self, now_ns: int) -> Optional[MemoryRequest]:
         """Compose the head-of-queue I/O, stalling on chip conflicts."""
@@ -48,6 +59,7 @@ class VirtualAddressScheduler(SchedulerBase):
             # The head I/O collides with outstanding work; VAS is unaware of
             # the physical layout, so it simply waits - nothing else may be
             # composed in the meantime (strict FIFO).
+            self._hol_stalls += 1
             return None
         return head.next_uncomposed()
 

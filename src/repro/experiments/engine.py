@@ -52,7 +52,34 @@ def _execute_job(job: SimJob) -> SimulationResult:
     return job.execute()
 
 
-def _execute_job_checkpointed(job: SimJob, directory: str, every_events: int) -> SimulationResult:
+def _execute_job_traced(job: SimJob, trace_dir: str) -> SimulationResult:
+    """Job runner that records a per-job telemetry artifact (picklable).
+
+    Mirrors ``SimJob.execute`` with a memory trace sink attached, then
+    writes the run's Chrome-trace JSON (named by the job fingerprint) into
+    ``trace_dir``.  The returned result is value-identical to an untraced
+    run - tracing is observational only.
+    """
+    from repro.obs.export import write_job_trace
+    from repro.obs.trace import MemoryTraceSink
+    from repro.sim.ssd import SSDSimulator
+
+    sink = MemoryTraceSink()
+    workload = job.workload.build()
+    simulator = SSDSimulator(
+        job.resolved_config,
+        job.scheduler,
+        scheduler_options=job.options_dict,
+        trace_sink=sink,
+    )
+    result = simulator.run(workload, workload_name=job.workload.name)
+    write_job_trace(trace_dir, job, sink, result)
+    return result
+
+
+def _execute_job_checkpointed(
+    job: SimJob, directory: str, every_events: int, trace_dir: Optional[str] = None
+) -> SimulationResult:
     """Job runner that persists periodic checkpoints (picklable, like above).
 
     Bit-identical to :func:`_execute_job` - the checkpoint subsystem's
@@ -62,7 +89,7 @@ def _execute_job_checkpointed(job: SimJob, directory: str, every_events: int) ->
     from repro.checkpoint.store import CheckpointStore, run_job_checkpointed
 
     return run_job_checkpointed(
-        job, CheckpointStore(directory), every_events=every_events
+        job, CheckpointStore(directory), every_events=every_events, trace_dir=trace_dir
     )
 
 
@@ -145,6 +172,7 @@ class ExecutionEngine:
         cache_dir: Optional[Union[str, Path]] = None,
         checkpoint_dir: Optional[Union[str, Path]] = None,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        trace_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -169,18 +197,28 @@ class ExecutionEngine:
             from repro.checkpoint.store import CheckpointStore
 
             CheckpointStore(self.checkpoint_dir)
+        # With a trace dir, every executed job also records a per-job
+        # Chrome-trace telemetry artifact (named by the job fingerprint).
+        # Cache hits are served without re-tracing - tracing requires an
+        # actual execution.
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
         self.stats = EngineStats()
 
     @property
     def _job_executor(self):
-        """The per-job execution function (checkpoint-aware when configured)."""
-        if self.checkpoint_dir is None:
-            return _execute_job
-        return functools.partial(
-            _execute_job_checkpointed,
-            directory=str(self.checkpoint_dir),
-            every_events=self.checkpoint_every,
-        )
+        """The per-job execution function (checkpoint/trace-aware when configured)."""
+        if self.checkpoint_dir is not None:
+            return functools.partial(
+                _execute_job_checkpointed,
+                directory=str(self.checkpoint_dir),
+                every_events=self.checkpoint_every,
+                trace_dir=str(self.trace_dir) if self.trace_dir is not None else None,
+            )
+        if self.trace_dir is not None:
+            return functools.partial(_execute_job_traced, trace_dir=str(self.trace_dir))
+        return _execute_job
 
     # ------------------------------------------------------------------
     # Execution
@@ -313,6 +351,12 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPa
         help="events between persisted checkpoints for --checkpoint-dir "
         f"(default: {DEFAULT_CHECKPOINT_EVERY})",
     )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="directory receiving one Chrome-trace telemetry artifact per "
+        "executed job (open the .trace.json files at ui.perfetto.dev)",
+    )
     return parser
 
 
@@ -324,6 +368,7 @@ def engine_from_args(args: argparse.Namespace) -> ExecutionEngine:
         cache_dir=args.cache_dir,
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         checkpoint_every=getattr(args, "checkpoint_every", DEFAULT_CHECKPOINT_EVERY),
+        trace_dir=getattr(args, "trace_dir", None),
     )
 
 

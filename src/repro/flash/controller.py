@@ -36,6 +36,7 @@ from repro.flash.chip import FlashChip
 from repro.flash.commands import FlashOp
 from repro.flash.request import MemoryRequest
 from repro.flash.transaction import FlashTransaction, TransactionBuilder
+from repro.obs.trace import NULL_SINK
 
 
 class TransactionSchedule(NamedTuple):
@@ -77,6 +78,12 @@ class FlashController:
         self.busy: set = set()
         self.total_committed = 0
         self.total_transactions = 0
+        #: Trace sink (simulator-attached) and busy->idle transition count.
+        #: ``idle_transitions`` is maintained on the cold discard branches
+        #: only; :attr:`busy_transitions` derives the idle->busy count from
+        #: it, keeping the hot ``commit`` path untouched.
+        self.sink = NULL_SINK
+        self.idle_transitions = 0
 
     # ------------------------------------------------------------------
     # Commit-side interface (used by the NVMHC scheduler)
@@ -124,8 +131,9 @@ class FlashController:
         kept = [req for req in queue if keep(req)]
         removed = len(queue) - len(kept)
         self.pending[chip_key] = kept
-        if not kept and self.active[chip_key] is None:
-            self.busy.discard(chip_key)
+        if not kept and self.active[chip_key] is None and chip_key in self.busy:
+            self.busy.remove(chip_key)
+            self.idle_transitions += 1
         return removed
 
     # ------------------------------------------------------------------
@@ -185,8 +193,36 @@ class FlashController:
             request.completed_at_ns = now_ns
         self.active[chip_key] = None
         if not self.pending[chip_key]:
+            # An active transaction implies membership, so this discard is a
+            # guaranteed busy->idle transition.
             self.busy.discard(chip_key)
+            self.idle_transitions += 1
+        if self.sink.enabled:
+            self.sink.span(
+                "gc" if transaction.is_gc else "txn",
+                category="flash",
+                track=f"chip {chip_key[0]}.{chip_key[1]}",
+                start_ns=transaction.issued_at_ns,
+                duration_ns=now_ns - transaction.issued_at_ns,
+                kind=transaction.kind.name,
+                requests=transaction.num_requests,
+                parallelism=transaction.parallelism.name,
+                bus_ns=transaction.bus_time_ns,
+                cell_ns=transaction.cell_time_ns,
+                bus_wait_ns=transaction.bus_wait_ns,
+            )
         return transaction
+
+    @property
+    def busy_transitions(self) -> int:
+        """Idle->busy transitions of this controller's chips so far.
+
+        Every chip that ever became busy either went idle again (counted in
+        :attr:`idle_transitions`) or is still in :attr:`busy`, so the sum of
+        the two is exactly the number of idle->busy transitions - without
+        touching the hot ``commit`` path.
+        """
+        return self.idle_transitions + len(self.busy)
 
     # ------------------------------------------------------------------
     # Internal helpers

@@ -22,6 +22,7 @@ from repro.flash.chip import FlashChip, planes_by_key
 from repro.flash.geometry import PhysicalPageAddress, SSDGeometry
 from repro.flash.timing import FlashTiming
 from repro.ftl.mapping import PageMapFTL
+from repro.obs.trace import NULL_SINK
 
 
 @dataclass
@@ -105,6 +106,10 @@ class GarbageCollector:
             prefix.append(prefix[-1] + latency)
         self._program_ns_prefix = prefix
         self.stats = GCStats()
+        #: Trace sink (simulator-attached); ``gc.trigger`` instants are
+        #: emitted only for clocked calls (``now_ns`` given), so untimed
+        #: preconditioning/aging sweeps never reach the sink.
+        self.sink = NULL_SINK
         #: Ordered log of recent collection passes as
         #: ``(chip_key, die, plane, victim_block, pages_moved)`` - the GC job
         #: sequence.  Victim selection ties break on ``(valid_pages,
@@ -148,7 +153,7 @@ class GarbageCollector:
     # Collection
     # ------------------------------------------------------------------
     def collect(
-        self, chip_key: tuple, die: int, plane: int, victim=None
+        self, chip_key: tuple, die: int, plane: int, victim=None, now_ns: Optional[int] = None
     ) -> Optional[GCJob]:
         """Run one GC pass on a plane: migrate valid pages, erase the victim.
 
@@ -161,7 +166,9 @@ class GarbageCollector:
         :meth:`repro.flash.plane.Plane.greedy_victim`), and every pass is
         appended to :attr:`history`.  ``victim`` lets a caller that already
         ran the selection (the trigger check) pass its result in instead of
-        scanning the candidate blocks a second time.
+        scanning the candidate blocks a second time.  ``now_ns`` (the
+        simulated clock, when the caller has one) timestamps the
+        ``gc.trigger`` trace instant; untimed calls are never traced.
         """
         chip = self.chips[chip_key]
         plane_obj = chip.plane(die, plane)
@@ -222,6 +229,18 @@ class GarbageCollector:
         self.stats.pages_migrated += len(migrated)
         self.stats.total_gc_time_ns += duration
         self.history.append((chip_key, die, plane, victim.block_id, len(migrated)))
+        if now_ns is not None and self.sink.enabled:
+            self.sink.instant(
+                "gc.trigger",
+                category="ftl",
+                track=f"chip {chip_key[0]}.{chip_key[1]}",
+                ts_ns=now_ns,
+                die=die,
+                plane=plane,
+                victim_block=victim.block_id,
+                pages_migrated=len(migrated),
+                duration_ns=duration,
+            )
         return job
 
     def collect_if_needed(self, chip_key: tuple) -> List[GCJob]:
@@ -233,7 +252,9 @@ class GarbageCollector:
                 jobs.append(job)
         return jobs
 
-    def collect_plane_if_needed(self, chip_key: tuple, die: int, plane: int) -> Optional[GCJob]:
+    def collect_plane_if_needed(
+        self, chip_key: tuple, die: int, plane: int, now_ns: Optional[int] = None
+    ) -> Optional[GCJob]:
         """Collect one victim on a specific plane when it is below the watermark.
 
         This is the trigger the simulator uses: garbage collection fires in
@@ -249,4 +270,4 @@ class GarbageCollector:
         victim = plane_obj.greedy_victim()
         if victim is None:
             return None
-        return self.collect(chip_key, die, plane, victim=victim)
+        return self.collect(chip_key, die, plane, victim=victim, now_ns=now_ns)

@@ -10,11 +10,15 @@
 """
 
 from repro.metrics.latency import (
+    DEFAULT_TAIL_WINDOW_NS,
     LatencyStats,
+    TailWindow,
+    WindowedTailTracker,
     bandwidth_kb_per_sec,
     iops,
     merge_latency_stats,
     percentile,
+    tail_windows_from_samples,
 )
 from repro.metrics.parallelism import FLPBreakdown
 from repro.metrics.breakdown import ExecutionBreakdown
@@ -27,11 +31,15 @@ from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import SimulationResult, format_table
 
 __all__ = [
+    "DEFAULT_TAIL_WINDOW_NS",
     "LatencyStats",
+    "TailWindow",
+    "WindowedTailTracker",
     "bandwidth_kb_per_sec",
     "iops",
     "merge_latency_stats",
     "percentile",
+    "tail_windows_from_samples",
     "FLPBreakdown",
     "ExecutionBreakdown",
     "IdlenessReport",

@@ -15,7 +15,12 @@ from repro.flash.channel import Channel
 from repro.flash.chip import FlashChip
 from repro.flash.transaction import FlashTransaction
 from repro.metrics.breakdown import ExecutionBreakdown
-from repro.metrics.latency import LatencyStats, StreamingLatencyStats
+from repro.metrics.latency import (
+    DEFAULT_TAIL_WINDOW_NS,
+    LatencyStats,
+    StreamingLatencyStats,
+    WindowedTailTracker,
+)
 from repro.metrics.parallelism import FLPBreakdown
 from repro.metrics.utilization import IdlenessReport, UtilizationReport
 from repro.workloads.request import IORequest
@@ -49,7 +54,12 @@ class MetricsCollector:
       makes day-long trace replays feasible.
     """
 
-    def __init__(self, history: str = "full", window: int = 4096) -> None:
+    def __init__(
+        self,
+        history: str = "full",
+        window: int = 4096,
+        tail_window_ns: int = DEFAULT_TAIL_WINDOW_NS,
+    ) -> None:
         if history not in HISTORY_MODES:
             raise ValueError(
                 f"unknown history mode {history!r}; expected one of {HISTORY_MODES}"
@@ -59,6 +69,14 @@ class MetricsCollector:
         self.history = history
         self.window = window
         self.flp = FLPBreakdown()
+        # The windowed tail series keys on completion time, not sample
+        # position, so each recorded window is exact in either mode.  In
+        # windowed (memory-flat) mode the *number* of retained windows is
+        # bounded like the time series is - otherwise the sealed-window list
+        # would grow with the makespan and break the flatness contract.
+        self.tail = WindowedTailTracker(
+            tail_window_ns, max_windows=window if history == "windowed" else None
+        )
         # Completion history as one append-only list of plain tuples: a
         # single append per completion on the hot path, materialised into
         # TimeSeriesPoint objects only when the final report is assembled
@@ -97,6 +115,7 @@ class MetricsCollector:
         arrival = io.arrival_ns
         latency = now_ns - arrival
         self.latency.add(latency)
+        self.tail.add(now_ns, latency)
         self._ts.append((io.io_id, arrival, now_ns, latency))
         self.total_bytes += io.size_bytes
         self.completed_ios += 1

@@ -1,12 +1,26 @@
-"""Latency, bandwidth and IOPS computations (Figure 10)."""
+"""Latency, bandwidth and IOPS computations (Figure 10).
+
+Besides the end-of-run aggregates (:class:`LatencyStats`,
+:class:`StreamingLatencyStats`), this module provides *windowed tail
+latency*: :class:`WindowedTailTracker` seals completions into fixed
+wall-clock windows and records exact p50/p99/p999 per window
+(:class:`TailWindow`), so a run's tail behaviour *over time* is visible -
+the metric a single end-of-run percentile cannot show.  The tracker is
+streaming (it buffers one window of samples at a time), so it composes with
+the windowed collector mode without reintroducing O(trace) memory.
+"""
 
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple
 
 NS_PER_S = 1_000_000_000
+
+#: Default tail-latency window width: 1 ms of simulated time.
+DEFAULT_TAIL_WINDOW_NS = 1_000_000
 
 
 def bandwidth_kb_per_sec(total_bytes: int, elapsed_ns: int) -> float:
@@ -168,6 +182,123 @@ class StreamingLatencyStats:
         merged = LatencyStats()
         merged.samples_ns = list(self.samples_ns) + list(other.samples_ns)
         return merged
+
+
+@dataclass(frozen=True)
+class TailWindow:
+    """Exact latency percentiles of one fixed-width completion window.
+
+    ``index`` is the window's ordinal position on the simulated clock
+    (``completion_ns // window_ns``); empty windows produce no entry, so
+    consecutive records may skip indices.  Percentiles use the same
+    ceil-based nearest-rank :func:`percentile` as the full-history stats,
+    which is what makes the windowed series *exactly* reproducible from a
+    full completion history (the validation contract the tests enforce).
+    """
+
+    index: int
+    start_ns: int
+    end_ns: int
+    count: int
+    p50_ns: float
+    p99_ns: float
+    p999_ns: float
+    max_ns: int
+
+
+class WindowedTailTracker:
+    """Streams completions into :class:`TailWindow` records.
+
+    Completion times must be non-decreasing (the simulator's clock is), so a
+    window can be sealed the moment a later window's first sample arrives;
+    only the in-progress window's samples are buffered.  The grouping key is
+    the completion time, making the series independent of how (or whether)
+    the collector truncates its per-sample history.
+
+    ``max_windows`` bounds how many *sealed* windows are retained (oldest
+    dropped first).  The memory-flat collector mode sets it so that the
+    series cannot grow with replay length - each retained window's
+    percentiles are still exact, only the tail of the series is kept.
+    Unbounded (``None``) retention is the full-history default.
+    """
+
+    __slots__ = ("window_ns", "max_windows", "windows", "_current_index", "_samples")
+
+    def __init__(
+        self,
+        window_ns: int = DEFAULT_TAIL_WINDOW_NS,
+        max_windows: Optional[int] = None,
+    ) -> None:
+        if window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        if max_windows is not None and max_windows <= 0:
+            raise ValueError("max_windows must be positive")
+        self.window_ns = window_ns
+        self.max_windows = max_windows
+        self.windows: Deque[TailWindow] = deque(maxlen=max_windows)
+        self._current_index: Optional[int] = None
+        self._samples: List[int] = []
+
+    def add(self, completion_ns: int, latency_ns: int) -> None:
+        """Record one completion at ``completion_ns`` with ``latency_ns``.
+
+        The simulator feeds completions in clock order, which is what makes
+        the one-window buffer exact.  A *late* sample (an earlier window
+        than the one currently open) is credited to the open window rather
+        than rejected, so collector callers outside the simulator need not
+        guarantee monotonic time; with a monotonic feed the branch never
+        fires and the series is exact.
+        """
+        index = completion_ns // self.window_ns
+        current = self._current_index
+        if current is None:
+            self._current_index = index
+        elif index > current:
+            self._seal()
+            self._current_index = index
+        self._samples.append(latency_ns)
+
+    def _seal(self) -> None:
+        samples = self._samples
+        index = self._current_index
+        assert index is not None
+        self.windows.append(
+            TailWindow(
+                index=index,
+                start_ns=index * self.window_ns,
+                end_ns=(index + 1) * self.window_ns,
+                count=len(samples),
+                p50_ns=percentile(samples, 0.50),
+                p99_ns=percentile(samples, 0.99),
+                p999_ns=percentile(samples, 0.999),
+                max_ns=max(samples),
+            )
+        )
+        self._samples = []
+
+    def finish(self) -> Tuple[TailWindow, ...]:
+        """Seal the in-progress window and return the complete series.
+
+        Idempotent: a second call (nothing buffered) returns the same tuple.
+        """
+        if self._samples:
+            self._seal()
+        return tuple(self.windows)
+
+
+def tail_windows_from_samples(
+    samples: Iterable[Tuple[int, int]], window_ns: int = DEFAULT_TAIL_WINDOW_NS
+) -> Tuple[TailWindow, ...]:
+    """Windowed tail series from ``(completion_ns, latency_ns)`` pairs.
+
+    The full-history reference implementation the streaming tracker is
+    validated against: group every completion by ``completion_ns //
+    window_ns`` and compute the percentiles per group.
+    """
+    tracker = WindowedTailTracker(window_ns)
+    for completion_ns, latency_ns in samples:
+        tracker.add(completion_ns, latency_ns)
+    return tracker.finish()
 
 
 def merge_latency_stats(parts: Iterable[LatencyStats]) -> LatencyStats:

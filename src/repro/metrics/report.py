@@ -14,14 +14,19 @@ compare serial vs parallel runs byte-for-byte via ``pickle.dumps``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ftl.garbage_collector import GCStats
 from repro.ftl.wear_leveling import WearStats
 from repro.lifetime.accounting import LifetimeAccounting
 from repro.metrics.breakdown import ExecutionBreakdown
 from repro.metrics.collector import TimeSeriesPoint
-from repro.metrics.latency import LatencyStats, bandwidth_kb_per_sec, iops
+from repro.metrics.latency import (
+    LatencyStats,
+    TailWindow,
+    bandwidth_kb_per_sec,
+    iops,
+)
 from repro.metrics.parallelism import FLPBreakdown
 from repro.metrics.utilization import IdlenessReport, UtilizationReport
 
@@ -56,6 +61,40 @@ class SimulationResult:
     wear: Optional[WearStats] = None
     #: Host vs flash writes, write amplification and precondition bookkeeping.
     lifetime: Optional[LifetimeAccounting] = None
+    # -- Observability fields (PR 8). All carry ``fingerprint: False`` so
+    # adding them (and any future telemetry) leaves every pre-existing
+    # result digest - perf trajectories, checkpoint goldens - untouched.
+    # ``__getattr__`` below supplies their defaults when an older pickled
+    # result (cache entries, checkpoints) predates them.
+    #: Events popped from the event queue over the measured run.
+    events_processed: int = field(default=0, metadata={"fingerprint": False})
+    #: Number of same-timestamp event batches the run was processed in.
+    event_batches: int = field(default=0, metadata={"fingerprint": False})
+    #: Largest same-timestamp event batch observed.
+    largest_event_batch: int = field(default=0, metadata={"fingerprint": False})
+    #: Counter-registry snapshot (``{dotted.name: count}``, sorted keys).
+    counters: Dict[str, int] = field(
+        default_factory=dict, metadata={"fingerprint": False}
+    )
+    #: Windowed tail-latency series (exact p50/p99/p999 per time window).
+    latency_windows: Tuple[TailWindow, ...] = field(
+        default=(), metadata={"fingerprint": False}
+    )
+
+    def __getattr__(self, name: str):
+        # Back-compat for results pickled before the observability fields
+        # existed: dataclass defaults live in __init__, so old instances
+        # simply lack the attributes.  Serve the documented defaults for
+        # exactly those names; anything else is a genuine miss.
+        if name in ("events_processed", "event_batches", "largest_event_batch"):
+            return 0
+        if name == "counters":
+            return {}
+        if name == "latency_windows":
+            return ()
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     # ------------------------------------------------------------------
     # Figure 10 metrics

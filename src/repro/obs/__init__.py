@@ -1,0 +1,67 @@
+"""Observability: request-lifecycle tracing, counters, windowed tails.
+
+The package splits into leaves the simulator may import (:mod:`~repro.obs.trace`,
+:mod:`~repro.obs.counters`) and consumers of finished runs
+(:mod:`~repro.obs.export`, :mod:`~repro.obs.windows`, the ``python -m
+repro.obs`` CLI).  :mod:`repro.obs.runner` is deliberately *not* imported
+here - it needs :mod:`repro.sim.ssd`, which itself imports the trace leaf -
+and the :mod:`~repro.obs.windows` symbols resolve lazily for the same
+reason: they pull in :mod:`repro.metrics`, which sits *above* the leaves in
+the import graph, so an eager import here would close a cycle whenever a
+leaf consumer (say :mod:`repro.flash.controller`) is the first to touch
+this package.
+"""
+
+from repro.obs.counters import CounterRegistry, merge_counter_snapshots
+from repro.obs.export import (
+    chrome_trace_document,
+    load_trace,
+    span_event_count,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_job_trace,
+)
+from repro.obs.trace import (
+    NULL_SINK,
+    MemoryTraceSink,
+    NullTraceSink,
+    SpanRecord,
+    TraceSink,
+)
+
+_WINDOW_EXPORTS = (
+    "DEFAULT_TAIL_WINDOW_NS",
+    "TailWindow",
+    "WindowedTailTracker",
+    "format_tail_windows",
+    "reference_tail_windows",
+)
+
+
+def __getattr__(name: str):
+    if name in _WINDOW_EXPORTS:
+        from repro.obs import windows
+
+        return getattr(windows, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CounterRegistry",
+    "merge_counter_snapshots",
+    "chrome_trace_document",
+    "load_trace",
+    "span_event_count",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_job_trace",
+    "NULL_SINK",
+    "MemoryTraceSink",
+    "NullTraceSink",
+    "SpanRecord",
+    "TraceSink",
+    "DEFAULT_TAIL_WINDOW_NS",
+    "TailWindow",
+    "WindowedTailTracker",
+    "format_tail_windows",
+    "reference_tail_windows",
+]

@@ -1,0 +1,33 @@
+"""Convenience entry point for running one job with tracing enabled.
+
+Kept separate from :mod:`repro.obs.trace` (a leaf module the simulator
+imports) because running a job needs :mod:`repro.sim.ssd`; importing this
+module from ``repro.obs.__init__`` would create a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.metrics.report import SimulationResult
+from repro.obs.trace import MemoryTraceSink
+from repro.sim.ssd import SSDSimulator
+
+
+def run_traced(job) -> Tuple[SimulationResult, MemoryTraceSink]:
+    """Execute a :class:`~repro.experiments.spec.SimJob` with a memory sink.
+
+    Mirrors ``SimJob.execute`` exactly except for the attached sink, so the
+    returned result is value-identical to an untraced run of the same job
+    (the digest-identity contract the tests enforce).
+    """
+    sink = MemoryTraceSink()
+    workload = job.workload.build()
+    simulator = SSDSimulator(
+        job.resolved_config,
+        job.scheduler,
+        scheduler_options=job.options_dict,
+        trace_sink=sink,
+    )
+    result = simulator.run(workload, workload_name=job.workload.name)
+    return result, sink

@@ -113,6 +113,43 @@ class Comparison:
             return 0.0
         return curr / base
 
+    def failure_reasons(self) -> Tuple[str, ...]:
+        """Every reason the gate fails, naming the offending cases.
+
+        Empty when :attr:`ok`.  These are what ``report`` prints next to the
+        FAIL verdict, so a CI log states *which* cases are missing, slower,
+        or incomparable instead of leaving only counts to act on.
+        """
+        reasons: List[str] = []
+        if self.missing:
+            reasons.append(
+                "missing from current trajectory: " + ", ".join(self.missing)
+            )
+        if self.regressions:
+            reasons.append(
+                "events/sec regressed: "
+                + ", ".join(f"{d.name} ({d.ratio:.2f}x)" for d in self.regressions)
+            )
+        if self.rss_regressions:
+            reasons.append(
+                "peak RSS regressed: "
+                + ", ".join(
+                    f"{d.name} ({d.baseline_rss_mb:.1f} -> {d.current_rss_mb:.1f} MiB)"
+                    for d in self.rss_regressions
+                )
+            )
+        if self.incomparable:
+            reasons.append(
+                "workload fingerprint changed: "
+                + ", ".join(d.name for d in self.incomparable)
+            )
+        if self.require_identical and self.digest_mismatches:
+            reasons.append(
+                "result digests differ: "
+                + ", ".join(d.name for d in self.digest_mismatches)
+            )
+        return tuple(reasons)
+
     def report(self) -> str:
         """Human-readable multi-line summary."""
         lines: List[str] = [
@@ -142,6 +179,8 @@ class Comparison:
             lines.append(f"  {name:<10} new case (no baseline; not gated)")
         for note in self.notes:
             lines.append(f"  note: {note}")
+        for reason in self.failure_reasons():
+            lines.append(f"  FAIL: {reason}")
         lines.append(
             f"overall: {self.overall_ratio:.2f}x events/sec vs baseline -> "
             f"{'PASS' if self.ok else 'FAIL'}"

@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.counters import merge_counter_snapshots
 from repro.perf.suite import PerfCase, canonical_suite
 from repro.sim.config import stable_fingerprint
 from repro.sim.ssd import SSDSimulator
@@ -79,6 +80,10 @@ class CaseRecord:
     #: downstream tooling does not need to know the KiB convention.
     wall_time_s: float = 0.0
     peak_rss_mb: float = 0.0
+    #: Counter-registry snapshots of the case's results, summed across jobs
+    #: (``*.largest_batch`` names take the max).  Purely informational in the
+    #: trajectory JSON - the comparison gate ignores it.
+    counters: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -145,7 +150,9 @@ def _run_case_once(case: PerfCase) -> CaseRecord:
         run_start = time.perf_counter()
         result = simulator.run(workload, workload_name=job.workload.name)
         sim_wall += time.perf_counter() - run_start
-        events += simulator.events.processed
+        # The result itself carries the event-loop stats now; no need to
+        # reach back into the simulator.
+        events += result.events_processed
         ios += result.completed_ios
         results.append(result)
     wall = time.perf_counter() - start
@@ -165,6 +172,7 @@ def _run_case_once(case: PerfCase) -> CaseRecord:
         result_digest=digest,
         wall_time_s=round(wall, 6),
         peak_rss_mb=round(rss_kb / 1024.0, 2),
+        counters=merge_counter_snapshots([result.counters for result in results]),
     )
 
 
@@ -194,8 +202,9 @@ def run_case(case: PerfCase, *, repeat: int = 1) -> CaseRecord:
     """Execute one suite case serially and measure it.
 
     Jobs run exactly the way :meth:`repro.experiments.spec.SimJob.execute`
-    runs them, but with the simulator instance kept in reach so the event
-    counter (``SSDSimulator.events.processed``) can be read afterwards.
+    runs them; the event-loop statistics come straight from each
+    :class:`~repro.metrics.report.SimulationResult`
+    (``events_processed``/``counters``), not from simulator internals.
 
     With ``repeat > 1`` the case runs several times and the *fastest* pass
     is reported (standard best-of-N to suppress scheduler/allocator noise);
@@ -273,6 +282,10 @@ def load_trajectory(path: Union[str, Path]) -> Trajectory:
                 peak_rss_mb=float(
                     raw.get("peak_rss_mb", round(int(raw.get("peak_rss_kb", 0)) / 1024.0, 2))
                 ),
+                counters={
+                    name: int(value)
+                    for name, value in raw.get("counters", {}).items()
+                },
             )
         )
     return Trajectory(

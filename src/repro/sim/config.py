@@ -32,10 +32,17 @@ def canonicalize(value) -> object:
     nested, possibly frozen) dataclasses, enums, mappings, sequences and
     primitives.  The result's ``repr`` is stable across processes and Python
     sessions, so it can feed a content-addressed cache key.
+
+    Dataclass fields declared with ``metadata={"fingerprint": False}`` are
+    excluded from the canonical form.  That is how purely observational
+    fields (telemetry counters, windowed tail series) can be added to result
+    dataclasses without invalidating every previously recorded digest.
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return (type(value).__name__,) + tuple(
-            (f.name, canonicalize(getattr(value, f.name))) for f in dataclasses.fields(value)
+            (f.name, canonicalize(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+            if f.metadata.get("fingerprint", True)
         )
     if isinstance(value, enum.Enum):
         return (type(value).__name__, value.name)

@@ -51,6 +51,11 @@ class EventQueue:
         self._heap: List[tuple] = []
         self._sequence = itertools.count()
         self.processed = 0
+        #: Number of same-timestamp batches handed out, and the largest one.
+        #: The simulator also folds its merged-in arrival groups into these,
+        #: so together they describe every batch the event loop dispatched.
+        self.batches = 0
+        self.largest_batch = 0
 
     def push(self, time_ns: int, kind: EventKind, payload: Any = None) -> None:
         """Schedule an event at ``time_ns``.
@@ -83,7 +88,11 @@ class EventQueue:
         append = batch.append
         while heap and heap[0][0] == time_ns:
             append(pop(heap))
-        self.processed += len(batch)
+        size = len(batch)
+        self.processed += size
+        self.batches += 1
+        if size > self.largest_batch:
+            self.largest_batch = size
         return time_ns, batch
 
     def pop(self) -> Event:

@@ -43,7 +43,10 @@ from repro.lifetime.accounting import LifetimeAccounting, write_amplification
 from repro.lifetime.state import PreconditionReport, apply_device_state
 from repro.lifetime.steady import SteadyStateReport, age_to_steady_state
 from repro.metrics.collector import MetricsCollector
+from repro.metrics.latency import DEFAULT_TAIL_WINDOW_NS
 from repro.metrics.report import SimulationResult
+from repro.obs.counters import CounterRegistry
+from repro.obs.trace import NULL_SINK, TraceSink
 from repro.nvmhc.dma import DmaEngine
 from repro.nvmhc.queue import DeviceQueue
 from repro.nvmhc.tag import Tag
@@ -63,11 +66,14 @@ class SSDSimulator:
         *,
         metrics_history: str = "full",
         metrics_window: int = 4096,
+        tail_window_ns: int = DEFAULT_TAIL_WINDOW_NS,
+        trace_sink: Optional[TraceSink] = None,
     ) -> None:
-        # ``metrics_history``/``metrics_window`` are deliberately NOT part of
-        # SimulationConfig: they change how much history the collector
-        # retains, never the simulated behaviour, and config fields feed the
-        # result fingerprints (see repro.sim.config.canonicalize).
+        # ``metrics_history``/``metrics_window``/``tail_window_ns``/
+        # ``trace_sink`` are deliberately NOT part of SimulationConfig: they
+        # change how much telemetry is retained, never the simulated
+        # behaviour, and config fields feed the result fingerprints (see
+        # repro.sim.config.canonicalize).
         self.config = config
         self.geometry = config.geometry
         self.timing = config.timing
@@ -120,8 +126,22 @@ class SSDSimulator:
         self.ftl.add_migration_listener(self.callback.on_migration)
         self.callback.add_listener(self.scheduler.on_migration)
 
+        # --- observability --------------------------------------------------------
+        # One sink shared by every component; with the default null sink the
+        # ``_tracing`` flag keeps emission branches off the hot paths
+        # entirely, so untraced runs execute the pre-tracing instruction
+        # stream (the digest-identity contract the perf gate enforces).
+        self.sink: TraceSink = trace_sink if trace_sink is not None else NULL_SINK
+        self._tracing: bool = self.sink.enabled
+        self.scheduler.attach_trace_sink(self.sink)
+        for controller in self.controllers.values():
+            controller.sink = self.sink
+        self.gc.sink = self.sink
+
         # --- bookkeeping ----------------------------------------------------------
-        self.metrics = MetricsCollector(history=metrics_history, window=metrics_window)
+        self.metrics = MetricsCollector(
+            history=metrics_history, window=metrics_window, tail_window_ns=tail_window_ns
+        )
         self.events = EventQueue()
         self.now_ns = 0
         self._tags_by_io: Dict[int, Tag] = {}
@@ -246,6 +266,9 @@ class SSDSimulator:
                     index += 1
                     admitted += 1
                 events.processed += admitted
+                events.batches += 1
+                if admitted > events.largest_batch:
+                    events.largest_batch = admitted
                 continue
             if batch_ns is None:
                 break
@@ -315,6 +338,18 @@ class SSDSimulator:
         controller.commit(request, self.now_ns)
         self.callback.track_request(request)
         self._requests_composed += 1
+        if self._tracing:
+            self.sink.span(
+                "compose",
+                category="nvmhc",
+                track="nvmhc",
+                start_ns=request.composed_at_ns,
+                duration_ns=self.now_ns - request.composed_at_ns,
+                io_id=request.io_id,
+                lpn=request.lpn,
+                channel=address.channel,
+                chip=address.chip,
+            )
         self._maybe_schedule_decision((address.channel, address.chip))
         self._pump()
 
@@ -374,7 +409,9 @@ class SSDSimulator:
 
     def _collect_garbage(self, address: PhysicalPageAddress) -> None:
         """Run GC bookkeeping for the plane a write just consumed a page on."""
-        job = self.gc.collect_plane_if_needed(address.chip_key, address.die, address.plane)
+        job = self.gc.collect_plane_if_needed(
+            address.chip_key, address.die, address.plane, self.now_ns
+        )
         if job is None:
             return
         self._gc_backlog[address.chip_key].append(job)
@@ -491,6 +528,19 @@ class SSDSimulator:
         io = tag.io
         io.completed_at_ns = self.now_ns
         self.metrics.on_io_complete(io, self.now_ns)
+        if self._tracing:
+            enqueued = io.enqueued_at_ns
+            self.sink.span(
+                "io",
+                category="host",
+                track="host",
+                start_ns=io.arrival_ns,
+                duration_ns=self.now_ns - io.arrival_ns,
+                io_id=io.io_id,
+                kind=io.kind.name,
+                bytes=io.size_bytes,
+                queue_wait_ns=(enqueued - io.arrival_ns) if enqueued is not None else 0,
+            )
         self.queue.retire(io.io_id)
         self.scheduler.on_tag_retired(tag)
         del self._tags_by_io[io.io_id]
@@ -523,6 +573,31 @@ class SSDSimulator:
                 self.steady_state.write_amplification if self.steady_state else 0.0
             ),
         )
+        # Counter registry: mostly derived here from stats the run already
+        # kept (so the event loop never touches the registry), plus the
+        # handful of live counters components maintain on cold branches.
+        counters = CounterRegistry(
+            {
+                "arrivals.backlogged": self.queue.stats.stalled_requests,
+                "callback.requests_penalized": self.callback.stats.requests_penalized,
+                "callback.requests_retargeted": self.callback.stats.requests_retargeted,
+                "chip.busy_transitions": sum(
+                    controller.busy_transitions for controller in self.controllers.values()
+                ),
+                "events.batches": self.events.batches,
+                "events.largest_batch": self.events.largest_batch,
+                "events.processed": self.events.processed,
+                "gc.blocks_erased": gc_run.blocks_erased,
+                "gc.pages_migrated": gc_run.pages_migrated,
+                "gc.triggers": gc_run.invocations,
+                "io.completed": self.metrics.completed_ios,
+                "requests.composed": self._requests_composed,
+                "trace.spans": getattr(self.sink, "total_records", 0),
+                "transactions.gc": self.metrics.gc_transactions,
+                "transactions.host": self.metrics.flp.total_transactions,
+            }
+        )
+        counters.update(self.scheduler.observability_counters())
         result = SimulationResult(
             scheduler=self.scheduler.name,
             workload=workload_name,
@@ -553,6 +628,11 @@ class SSDSimulator:
             gc_stats=gc_run,
             wear=wear_stats(self.chips),
             lifetime=lifetime,
+            events_processed=self.events.processed,
+            event_batches=self.events.batches,
+            largest_event_batch=self.events.largest_batch,
+            counters=counters.snapshot(),
+            latency_windows=self.metrics.tail.finish(),
         )
         return result
 
@@ -566,6 +646,8 @@ def run_workload(
     scheduler_options: Optional[Dict[str, object]] = None,
     metrics_history: str = "full",
     metrics_window: int = 4096,
+    tail_window_ns: int = DEFAULT_TAIL_WINDOW_NS,
+    trace_sink: Optional[TraceSink] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a simulator, run one workload, return the result."""
     simulator = SSDSimulator(
@@ -574,5 +656,7 @@ def run_workload(
         scheduler_options=scheduler_options,
         metrics_history=metrics_history,
         metrics_window=metrics_window,
+        tail_window_ns=tail_window_ns,
+        trace_sink=trace_sink,
     )
     return simulator.run(workload, workload_name=workload_name)
