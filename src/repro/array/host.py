@@ -25,6 +25,7 @@ from repro.array.layout import ArrayLayout
 from repro.metrics.latency import LatencyStats, merge_latency_stats
 from repro.metrics.report import SimulationResult
 from repro.metrics.utilization import UtilizationReport, merge_utilization_reports
+from repro.obs.counters import merge_counter_snapshots
 
 
 @dataclass
@@ -38,6 +39,10 @@ class ArrayResult:
     device_results: Tuple[SimulationResult, ...]
     latency: LatencyStats = field(default_factory=LatencyStats)
     utilization: UtilizationReport = field(default_factory=UtilizationReport)
+    #: Per-device counter snapshots merged under device-namespaced keys
+    #: (``dev3.gc.triggers``), mirroring how merge_utilization_reports
+    #: namespaces chip keys - no cross-device aggregation surprises.
+    counters: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Aggregate throughput (devices run concurrently -> figures add up)
@@ -95,6 +100,12 @@ class ArrayResult:
         """Mean chip utilisation over every chip of every device."""
         return self.utilization.mean
 
+    def aggregate_counters(self) -> Dict[str, int]:
+        """Counters summed across devices (un-namespaced dotted names)."""
+        return merge_counter_snapshots(
+            [result.counters for result in self.device_results]
+        )
+
     @property
     def avg_latency_ns(self) -> float:
         """Mean per-command latency over the pooled array population."""
@@ -136,6 +147,18 @@ def merge_device_results(
         device_results=tuple(results),
         latency=merge_latency_stats([result.latency for result in results]),
         utilization=merge_utilization_reports([result.utilization for result in results]),
+        # Namespacing by device index before the merge keeps every device's
+        # snapshot intact (merge_counter_snapshots would otherwise sum
+        # same-named counters across devices and silently lose the split).
+        counters=merge_counter_snapshots(
+            [
+                {
+                    f"dev{index}.{name}": value
+                    for name, value in result.counters.items()
+                }
+                for index, result in enumerate(results)
+            ]
+        ),
     )
 
 

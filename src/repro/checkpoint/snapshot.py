@@ -38,6 +38,7 @@ from repro.ftl.mapping import PageMapFTL
 from repro.metrics.collector import MetricsCollector
 from repro.nvmhc.dma import DmaEngine
 from repro.nvmhc.queue import DeviceQueue
+from repro.obs.health import HealthSampler
 from repro.obs.trace import TraceSink
 from repro.sim.config import SimulationConfig
 from repro.sim.events import EventQueue
@@ -46,7 +47,10 @@ from repro.sim.events import EventQueue
 #: rejected (a stale resume silently diverging would be far worse than a
 #: rerun).  Version 2 added the observability state (``sink``/``_tracing``):
 #: a traced run's span history rides inside the snapshot and resumes intact.
-CHECKPOINT_VERSION = 2
+#: Version 3 added the health sampler (``_health``) and the attribution
+#: tracker inside the metrics collector: a health-sampled, attributed run
+#: resumes with its series and slices intact.
+CHECKPOINT_VERSION = 3
 
 
 class CheckpointError(Exception):
@@ -82,6 +86,7 @@ _STATE_SCHEMA = {
     "callback": lambda v: isinstance(v, ReaddressingCallback),
     "sink": lambda v: isinstance(v, TraceSink),
     "_tracing": lambda v: isinstance(v, bool),
+    "_health": _is_optional(HealthSampler),
     "metrics": lambda v: isinstance(v, MetricsCollector),
     "events": lambda v: isinstance(v, EventQueue),
     "now_ns": lambda v: isinstance(v, int) and not isinstance(v, bool),

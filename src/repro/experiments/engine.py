@@ -29,7 +29,9 @@ import copy
 import functools
 import os
 import pickle
+import sys
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
@@ -161,6 +163,37 @@ class ResultCache:
         return sum(1 for _ in self.directory.glob("*.pkl"))
 
 
+class _ProgressHeartbeat:
+    """Prints one ``[engine]`` line per completed job (events/sec, ETA)."""
+
+    def __init__(self, total: int, cache_hits: int) -> None:
+        self.total = total
+        self.done = 0
+        self.events = 0
+        self.started = time.monotonic()
+        if cache_hits:
+            print(
+                f"[engine] {cache_hits} cache hit(s); executing {total} job(s)",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    def tick(self, result: SimulationResult) -> None:
+        """Account one completed job and print the heartbeat line."""
+        self.done += 1
+        self.events += result.events_processed
+        elapsed = max(time.monotonic() - self.started, 1e-9)
+        rate = self.events / elapsed
+        eta = elapsed / self.done * (self.total - self.done)
+        print(
+            f"[engine] {self.done}/{self.total} jobs "
+            f"({result.workload} [{result.scheduler}]) "
+            f"{rate:,.0f} events/s elapsed {elapsed:.1f}s eta {eta:.1f}s",
+            file=sys.stderr,
+            flush=True,
+        )
+
+
 class ExecutionEngine:
     """Executes experiment specs through a pluggable, cache-aware backend."""
 
@@ -173,6 +206,7 @@ class ExecutionEngine:
         checkpoint_dir: Optional[Union[str, Path]] = None,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         trace_dir: Optional[Union[str, Path]] = None,
+        progress: bool = False,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -204,6 +238,9 @@ class ExecutionEngine:
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         if self.trace_dir is not None:
             self.trace_dir.mkdir(parents=True, exist_ok=True)
+        # With progress on, run_jobs prints a per-completion heartbeat
+        # (jobs done, events/sec, ETA) to stderr - the long-sweep watchdog.
+        self.progress = progress
         self.stats = EngineStats()
 
     @property
@@ -241,6 +278,7 @@ class ExecutionEngine:
         and every duplicate index receives the one computed result.
         """
         self.stats.jobs_submitted += len(jobs)
+        hits_before = self.stats.cache_hits
         results: List[Optional[SimulationResult]] = [None] * len(jobs)
         fingerprints = [job.fingerprint() for job in jobs]
         pending: Dict[str, List[int]] = {}
@@ -254,12 +292,25 @@ class ExecutionEngine:
                 if cached is not None:
                     results[index] = cached
                     self.stats.cache_hits += 1
+                    if self.trace_dir is not None:
+                        # Cache hits skip execution, so no trace artifact
+                        # exists for them; leave an explicit marker so
+                        # trace-dir reconciliation never misreads a hit as
+                        # lost spans.
+                        from repro.obs.export import write_skipped_trace_marker
+
+                        write_skipped_trace_marker(self.trace_dir, fingerprint, cached)
                     continue
             pending[fingerprint] = [index]
 
         # Results are cached as each job completes (not after the whole
         # batch), so an interrupted long sweep keeps the work it finished.
         representatives = [indices[0] for indices in pending.values()]
+        heartbeat = (
+            _ProgressHeartbeat(len(representatives), self.stats.cache_hits - hits_before)
+            if self.progress and jobs
+            else None
+        )
         for index, result in self._execute_indexed(
             [jobs[i] for i in representatives], self._job_executor, representatives
         ):
@@ -273,6 +324,8 @@ class ExecutionEngine:
             if self.cache is not None:
                 self.cache.store(fingerprints[index], result)
                 self.stats.cache_stores += 1
+            if heartbeat is not None:
+                heartbeat.tick(result)
         return results  # type: ignore[return-value]
 
     def build_workloads(self, specs: Sequence[WorkloadSpec]) -> Dict[str, List[IORequest]]:
@@ -357,6 +410,11 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPa
         help="directory receiving one Chrome-trace telemetry artifact per "
         "executed job (open the .trace.json files at ui.perfetto.dev)",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a per-job heartbeat (jobs done, events/sec, ETA) to stderr",
+    )
     return parser
 
 
@@ -369,6 +427,7 @@ def engine_from_args(args: argparse.Namespace) -> ExecutionEngine:
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         checkpoint_every=getattr(args, "checkpoint_every", DEFAULT_CHECKPOINT_EVERY),
         trace_dir=getattr(args, "trace_dir", None),
+        progress=getattr(args, "progress", False),
     )
 
 

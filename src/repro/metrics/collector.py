@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 from repro.flash.channel import Channel
 from repro.flash.chip import FlashChip
 from repro.flash.transaction import FlashTransaction
+from repro.metrics.attribution import AttributionTracker
 from repro.metrics.breakdown import ExecutionBreakdown
 from repro.metrics.latency import (
     DEFAULT_TAIL_WINDOW_NS,
@@ -77,6 +78,12 @@ class MetricsCollector:
         self.tail = WindowedTailTracker(
             tail_window_ns, max_windows=window if history == "windowed" else None
         )
+        # Per-(tenant, phase) slices for scenario-stamped requests.  Shares
+        # this collector's history/window contract; untagged requests cost a
+        # single attribute test on the completion path and never touch it.
+        self.attribution = AttributionTracker(
+            history=history, window=window, tail_window_ns=tail_window_ns
+        )
         # Completion history as one append-only list of plain tuples: a
         # single append per completion on the hot path, materialised into
         # TimeSeriesPoint objects only when the final report is assembled
@@ -119,12 +126,18 @@ class MetricsCollector:
         self._ts.append((io.io_id, arrival, now_ns, latency))
         self.total_bytes += io.size_bytes
         self.completed_ios += 1
-        if io.is_write:
+        is_write = io.is_write
+        if is_write:
             self.completed_writes += 1
             self.write_bytes += io.size_bytes
         else:
             self.completed_reads += 1
             self.read_bytes += io.size_bytes
+        tenant = io.tenant
+        if tenant is not None:
+            self.attribution.record(
+                tenant, io.phase_index, is_write, io.size_bytes, now_ns, latency
+            )
         self.last_completion_ns = max(self.last_completion_ns, now_ns)
 
     def on_transaction_complete(self, transaction: FlashTransaction) -> None:

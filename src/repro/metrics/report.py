@@ -19,8 +19,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.ftl.garbage_collector import GCStats
 from repro.ftl.wear_leveling import WearStats
 from repro.lifetime.accounting import LifetimeAccounting
+from repro.metrics.attribution import AttributionReport
 from repro.metrics.breakdown import ExecutionBreakdown
 from repro.metrics.collector import TimeSeriesPoint
+from repro.obs.health import HealthSample
 from repro.metrics.latency import (
     LatencyStats,
     TailWindow,
@@ -80,6 +82,17 @@ class SimulationResult:
     latency_windows: Tuple[TailWindow, ...] = field(
         default=(), metadata={"fingerprint": False}
     )
+    # -- Attributed telemetry (PR 9): same fingerprint-exclusion contract.
+    #: Per-(tenant, phase) latency/throughput slices for scenario-stamped
+    #: workloads; ``None`` when no completion carried a provenance tag.
+    attribution: Optional[AttributionReport] = field(
+        default=None, metadata={"fingerprint": False}
+    )
+    #: Periodic health samples (event backlog, queue depths, GC pressure,
+    #: chip busyness); empty unless the run enabled the health sampler.
+    health: Tuple[HealthSample, ...] = field(
+        default=(), metadata={"fingerprint": False}
+    )
 
     def __getattr__(self, name: str):
         # Back-compat for results pickled before the observability fields
@@ -90,8 +103,10 @@ class SimulationResult:
             return 0
         if name == "counters":
             return {}
-        if name == "latency_windows":
+        if name in ("latency_windows", "health"):
             return ()
+        if name == "attribution":
+            return None
         raise AttributeError(
             f"{type(self).__name__!r} object has no attribute {name!r}"
         )

@@ -20,6 +20,13 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
     write_job_trace,
+    write_skipped_trace_marker,
+)
+from repro.obs.health import (
+    DEFAULT_HEALTH_INTERVAL_NS,
+    DEFAULT_MAX_HEALTH_SAMPLES,
+    HealthSample,
+    HealthSampler,
 )
 from repro.obs.trace import (
     NULL_SINK,
@@ -37,12 +44,30 @@ _WINDOW_EXPORTS = (
     "reference_tail_windows",
 )
 
+#: Run-report symbols, lazy for the same reason as the window exports:
+#: :mod:`repro.obs.report` consumes finished results (repro.metrics), which
+#: sits above the simulator-importable leaves in the import graph.
+_REPORT_EXPORTS = (
+    "SLOCheck",
+    "SLOThresholds",
+    "run_report_html",
+    "run_report_markdown",
+    "slo_verdicts",
+    "sparkline",
+    "svg_sparkline",
+    "write_run_report",
+)
+
 
 def __getattr__(name: str):
     if name in _WINDOW_EXPORTS:
         from repro.obs import windows
 
         return getattr(windows, name)
+    if name in _REPORT_EXPORTS:
+        from repro.obs import report
+
+        return getattr(report, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -54,6 +79,11 @@ __all__ = [
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_job_trace",
+    "write_skipped_trace_marker",
+    "DEFAULT_HEALTH_INTERVAL_NS",
+    "DEFAULT_MAX_HEALTH_SAMPLES",
+    "HealthSample",
+    "HealthSampler",
     "NULL_SINK",
     "MemoryTraceSink",
     "NullTraceSink",
@@ -64,4 +94,12 @@ __all__ = [
     "WindowedTailTracker",
     "format_tail_windows",
     "reference_tail_windows",
+    "SLOCheck",
+    "SLOThresholds",
+    "run_report_html",
+    "run_report_markdown",
+    "slo_verdicts",
+    "sparkline",
+    "svg_sparkline",
+    "write_run_report",
 ]

@@ -12,6 +12,12 @@ Three subcommands:
 ``export --case NAME -o PATH [--scale quick|full] [--tiny]``
     Run every job of a perf-suite case with tracing enabled and write one
     Chrome-trace/Perfetto JSON document (open it at https://ui.perfetto.dev).
+
+``report --scenario NAME -o PATH [--scheduler S] [--chips N] [...]``
+    Run a library scenario with tracing, health sampling and telemetry
+    attribution enabled, and write a self-contained HTML/markdown run
+    report: tenant table with tails, SLO verdicts, health sparklines,
+    counters and top spans.
 """
 
 from __future__ import annotations
@@ -110,6 +116,59 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import SLOThresholds, write_run_report
+    from repro.obs.trace import MemoryTraceSink
+    from repro.scenarios.library import (
+        bursty_multitenant_scenario,
+        diurnal_scenario,
+        steady_scenario,
+    )
+    from repro.sim.config import SimulationConfig
+    from repro.sim.ssd import SSDSimulator
+
+    factories = {
+        "steady": steady_scenario,
+        "bursty": bursty_multitenant_scenario,
+        "diurnal": diurnal_scenario,
+    }
+    factory = factories.get(args.scenario)
+    if factory is None:
+        print(
+            f"unknown scenario {args.scenario!r}; available: "
+            f"{', '.join(sorted(factories))}",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = factory(seed=args.seed)
+    sink = MemoryTraceSink()
+    simulator = SSDSimulator(
+        SimulationConfig.paper_scale(args.chips),
+        args.scheduler,
+        trace_sink=sink,
+        health_interval_ns=args.health_interval_us * 1_000,
+    )
+    result = simulator.run(scenario.build(), workload_name=scenario.name)
+    slo = SLOThresholds(
+        mean_us=args.slo_mean_us, p99_us=args.slo_p99_us, p999_us=args.slo_p999_us
+    )
+    path = write_run_report(
+        args.output,
+        result,
+        slo=slo if slo else None,
+        sink=sink,
+        title=f"Scenario report: {scenario.name} [{args.scheduler}]",
+    )
+    tenants = (
+        ", ".join(result.attribution.tenants()) if result.attribution else "(none)"
+    )
+    print(
+        f"wrote {path} ({result.completed_ios} I/Os, tenants: {tenants}, "
+        f"{len(result.health)} health samples)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -131,6 +190,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--tiny", action="store_true", help="pick the case from the tiny suite instead"
     )
     export.set_defaults(func=_cmd_export)
+
+    report = sub.add_parser(
+        "report", help="run a library scenario and write an HTML/markdown report"
+    )
+    report.add_argument(
+        "--scenario", required=True, help="library scenario (steady/bursty/diurnal)"
+    )
+    report.add_argument(
+        "-o", "--output", required=True, help="report path (.html or .md)"
+    )
+    report.add_argument("--scheduler", default="SPK3", help="scheduler (default SPK3)")
+    report.add_argument(
+        "--chips", type=int, default=16, help="chips for the paper-scale config"
+    )
+    report.add_argument("--seed", type=int, default=11, help="scenario seed")
+    report.add_argument(
+        "--health-interval-us",
+        type=int,
+        default=50,
+        help="health sampling cadence in simulated microseconds",
+    )
+    report.add_argument("--slo-mean-us", type=float, default=None)
+    report.add_argument("--slo-p99-us", type=float, default=None)
+    report.add_argument("--slo-p999-us", type=float, default=None)
+    report.set_defaults(func=_cmd_report)
     return parser
 
 

@@ -23,6 +23,9 @@ from repro.obs.trace import SPAN_PHASES, MemoryTraceSink, SpanRecord
 
 TRACE_SUFFIX = ".trace.json"
 
+#: Marker written instead of a trace when a cache hit skipped execution.
+SKIPPED_TRACE_SUFFIX = ".trace.skipped.json"
+
 #: keys every exported trace event must carry, per phase.
 _REQUIRED_EVENT_KEYS = {
     "X": ("name", "cat", "ph", "ts", "dur", "pid", "tid"),
@@ -194,3 +197,37 @@ def write_job_trace(directory: Union[str, Path], job, sink: SinkLike, result) ->
     }
     target = Path(directory) / f"{job.fingerprint()}{TRACE_SUFFIX}"
     return write_chrome_trace(target, [(result.workload, sink)], metadata)
+
+
+def write_skipped_trace_marker(
+    directory: Union[str, Path], fingerprint: str, result
+) -> Optional[Path]:
+    """Record that a job's trace was skipped because its result was cached.
+
+    Tracing requires an actual execution, so cache-hit jobs produce no
+    ``.trace.json`` - without a marker, trace-artifact reconciliation reads
+    the gap as lost spans.  The marker is a small JSON document named by the
+    same fingerprint; an existing trace or marker is left untouched (a prior
+    run already explained this fingerprint), returning ``None``.
+    """
+    base = Path(directory)
+    if (base / f"{fingerprint}{TRACE_SUFFIX}").exists():
+        return None
+    target = base / f"{fingerprint}{SKIPPED_TRACE_SUFFIX}"
+    if target.exists():
+        return None
+    base.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(
+            {
+                "job_fingerprint": fingerprint,
+                "status": "skipped-cache-hit",
+                "workload": result.workload,
+                "scheduler": result.scheduler,
+                "completed_ios": result.completed_ios,
+            },
+            sort_keys=True,
+        ),
+        encoding="utf-8",
+    )
+    return target

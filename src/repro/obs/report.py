@@ -1,0 +1,435 @@
+"""Self-contained run reports: tenant tables, SLO checks, health sparklines.
+
+:func:`write_run_report` turns one finished
+:class:`~repro.metrics.report.SimulationResult` into a single artifact a
+human can open - GitHub-flavoured markdown or a dependency-free HTML page
+with inline SVG sparklines - covering:
+
+* the run summary (bandwidth, IOPS, latency aggregates),
+* the per-(tenant, phase) attribution table with tail percentiles, the
+  per-tenant roll-up, and an exact reconciliation check against the
+  aggregate stats,
+* per-tenant SLO threshold verdicts (:class:`SLOThresholds`),
+* sparklines over the periodic health series (event backlog, queue depth,
+  GC pressure, chip busyness),
+* the counter-registry snapshot and (when a trace sink is supplied) the
+  longest recorded spans.
+
+The module is a *consumer* of finished runs (it imports :mod:`repro.metrics`),
+so :mod:`repro.obs` re-exports it lazily - the simulator-importable leaves
+stay cycle-free.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.metrics.attribution import reconcile_attribution
+from repro.obs.trace import MemoryTraceSink
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: Health metrics rendered as sparklines, in display order.
+_HEALTH_METRICS = (
+    ("event_backlog", "event backlog"),
+    ("queue_depth", "device queue depth"),
+    ("host_backlog", "host backlog"),
+    ("inflight_ios", "in-flight I/Os"),
+    ("gc_backlog", "GC backlog"),
+    ("planes_below_watermark", "planes below GC watermark"),
+    ("min_free_blocks", "min free blocks"),
+    ("chip_busy_fraction", "chip busy fraction"),
+)
+
+
+@dataclass(frozen=True)
+class SLOCheck:
+    """One threshold verdict for one tenant."""
+
+    tenant: str
+    metric: str
+    limit_us: float
+    actual_us: float
+
+    @property
+    def ok(self) -> bool:
+        """True when the tenant met the threshold."""
+        return self.actual_us <= self.limit_us
+
+
+@dataclass(frozen=True)
+class SLOThresholds:
+    """Latency ceilings checked per tenant (microseconds; ``None`` = unchecked)."""
+
+    mean_us: Optional[float] = None
+    p99_us: Optional[float] = None
+    p999_us: Optional[float] = None
+    max_us: Optional[float] = None
+
+    def __bool__(self) -> bool:
+        return any(
+            limit is not None
+            for limit in (self.mean_us, self.p99_us, self.p999_us, self.max_us)
+        )
+
+    def check(self, tenant: str, latency) -> List[SLOCheck]:
+        """Verdicts for one tenant's pooled latency distribution."""
+        gauges = (
+            ("mean", self.mean_us, latency.mean_ns / 1_000.0),
+            ("p99", self.p99_us, latency.percentile_ns(0.99) / 1_000.0),
+            ("p999", self.p999_us, latency.percentile_ns(0.999) / 1_000.0),
+            ("max", self.max_us, latency.max_ns / 1_000.0),
+        )
+        return [
+            SLOCheck(tenant=tenant, metric=metric, limit_us=limit, actual_us=round(actual, 1))
+            for metric, limit, actual in gauges
+            if limit is not None
+        ]
+
+
+def slo_verdicts(result, slo: SLOThresholds) -> List[SLOCheck]:
+    """Every tenant's verdicts against ``slo`` (empty without attribution)."""
+    if result.attribution is None or not slo:
+        return []
+    checks: List[SLOCheck] = []
+    for entry in result.attribution.tenant_totals():
+        checks.extend(slo.check(entry.tenant, entry.latency))
+    return checks
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as a unicode block sparkline."""
+    if not values:
+        return ""
+    low = min(values)
+    span = max(values) - low
+    top = len(_SPARK_BLOCKS) - 1
+    if span <= 0:
+        return _SPARK_BLOCKS[0] * len(values)
+    return "".join(
+        _SPARK_BLOCKS[int((value - low) / span * top)] for value in values
+    )
+
+
+def svg_sparkline(values: Sequence[float], *, width: int = 240, height: int = 32) -> str:
+    """Render a numeric series as a self-contained inline SVG polyline."""
+    if not values:
+        return "<svg></svg>"
+    low = min(values)
+    span = max(values) - low
+    n = max(len(values) - 1, 1)
+    points = []
+    for index, value in enumerate(values):
+        x = index / n * (width - 2) + 1
+        y = height - 2 - ((value - low) / span * (height - 4) if span > 0 else 0)
+        points.append(f"{x:.1f},{y:.1f}")
+    return (
+        f'<svg width="{width}" height="{height}" viewBox="0 0 {width} {height}" '
+        'xmlns="http://www.w3.org/2000/svg">'
+        f'<polyline fill="none" stroke="#2a6" stroke-width="1.5" '
+        f'points="{" ".join(points)}"/></svg>'
+    )
+
+
+# ----------------------------------------------------------------------
+# Section assembly (shared by both renderers)
+# ----------------------------------------------------------------------
+def _summary_rows(result) -> List[Tuple[str, object]]:
+    return [
+        ("workload", result.workload),
+        ("scheduler", result.scheduler),
+        ("completed I/Os", result.completed_ios),
+        ("total MB", round(result.total_bytes / (1024.0 * 1024.0), 2)),
+        ("makespan (ms)", round(result.makespan_ns / 1_000_000.0, 3)),
+        ("bandwidth (MB/s)", round(result.bandwidth_kb_s / 1024.0, 1)),
+        ("IOPS", round(result.iops, 1)),
+        ("mean latency (us)", round(result.latency.mean_ns / 1_000.0, 1)),
+        ("p99 latency (us)", round(result.latency.percentile_ns(0.99) / 1_000.0, 1)),
+        ("events processed", result.events_processed),
+    ]
+
+
+def _tenant_rows(result) -> List[Dict[str, object]]:
+    report = result.attribution
+    rows = [entry.summary_row() for entry in report.entries]
+    for entry in report.tenant_totals():
+        row = entry.summary_row()
+        row["phase"] = "(all)"
+        rows.append(row)
+    if report.untagged_ios:
+        rows.append(
+            {
+                "phase": "-",
+                "tenant": "(untagged)",
+                "ios": report.untagged_ios,
+                "mb": round(report.untagged_bytes / (1024.0 * 1024.0), 2),
+            }
+        )
+    return rows
+
+
+def _health_series(result) -> List[Tuple[str, List[float]]]:
+    samples = result.health
+    if not samples:
+        return []
+    return [
+        (label, [float(getattr(sample, name)) for sample in samples])
+        for name, label in _HEALTH_METRICS
+    ]
+
+
+def _top_spans(sink: MemoryTraceSink, count: int) -> List[Dict[str, object]]:
+    spans = [record for record in sink.records if record.phase == "X"]
+    spans.sort(key=lambda r: (-r.duration_ns, r.start_ns))
+    return [
+        {
+            "name": record.name,
+            "track": record.track,
+            "start_us": round(record.start_ns / 1_000.0, 1),
+            "dur_us": round(record.duration_ns / 1_000.0, 1),
+        }
+        for record in spans[:count]
+    ]
+
+
+# ----------------------------------------------------------------------
+# Markdown
+# ----------------------------------------------------------------------
+def _md_table(rows: Sequence[Dict[str, object]]) -> List[str]:
+    if not rows:
+        return []
+    columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(str(col) for col in columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(row.get(col, "")) for col in columns) + " |")
+    return lines
+
+
+def run_report_markdown(
+    result,
+    *,
+    slo: Optional[SLOThresholds] = None,
+    sink: Optional[MemoryTraceSink] = None,
+    title: Optional[str] = None,
+    top_span_count: int = 10,
+) -> str:
+    """Render one run as a self-contained markdown report."""
+    lines = [f"# {title or f'Run report: {result.workload} [{result.scheduler}]'}", ""]
+    lines += [f"- **{name}**: {value}" for name, value in _summary_rows(result)]
+
+    lines += ["", "## Tenants", ""]
+    if result.attribution is None:
+        lines.append("No provenance tags recorded (not a scenario-built workload).")
+    else:
+        lines += _md_table(_tenant_rows(result))
+        problems = reconcile_attribution(result)
+        lines.append("")
+        if problems:
+            lines.append("**Reconciliation FAILED:**")
+            lines += [f"- {problem}" for problem in problems]
+        else:
+            lines.append(
+                "Reconciliation: per-tenant counts, bytes and pooled "
+                "percentile inputs match the aggregate exactly."
+            )
+
+    checks = slo_verdicts(result, slo) if slo else []
+    if checks:
+        lines += ["", "## SLO checks", ""]
+        lines += _md_table(
+            [
+                {
+                    "tenant": check.tenant,
+                    "metric": check.metric,
+                    "limit_us": check.limit_us,
+                    "actual_us": check.actual_us,
+                    "verdict": "PASS" if check.ok else "FAIL",
+                }
+                for check in checks
+            ]
+        )
+
+    series = _health_series(result)
+    if series:
+        first, last = result.health[0].t_ns, result.health[-1].t_ns
+        lines += [
+            "",
+            "## Health",
+            "",
+            f"{len(result.health)} samples over "
+            f"{round((last - first) / 1_000_000.0, 3)} ms of simulated time.",
+            "",
+        ]
+        width = max(len(label) for label, _ in series)
+        lines.append("```")
+        for label, values in series:
+            lines.append(
+                f"{label:<{width}}  {sparkline(values)}  "
+                f"min={min(values):g} max={max(values):g} last={values[-1]:g}"
+            )
+        lines.append("```")
+
+    if result.counters:
+        lines += ["", "## Counters", ""]
+        lines += _md_table(
+            [{"counter": name, "value": result.counters[name]} for name in sorted(result.counters)]
+        )
+
+    if sink is not None:
+        spans = _top_spans(sink, top_span_count)
+        if spans:
+            lines += ["", "## Top spans", ""]
+            lines += _md_table(spans)
+
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# HTML
+# ----------------------------------------------------------------------
+_HTML_STYLE = (
+    "body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;max-width:60em;"
+    "color:#222}table{border-collapse:collapse;margin:0.5em 0}"
+    "td,th{border:1px solid #ccc;padding:0.25em 0.6em;text-align:right}"
+    "th{background:#f0f0f0}td:first-child,th:first-child{text-align:left}"
+    ".pass{color:#2a6;font-weight:bold}.fail{color:#c33;font-weight:bold}"
+    "h2{border-bottom:1px solid #ddd;padding-bottom:0.2em}"
+)
+
+
+def _html_table(rows: Sequence[Dict[str, object]], css_class: str = "") -> List[str]:
+    if not rows:
+        return []
+    columns = list(rows[0].keys())
+    attr = f' class="{css_class}"' if css_class else ""
+    lines = [f"<table{attr}>", "<tr>" + "".join(f"<th>{html.escape(str(c))}</th>" for c in columns) + "</tr>"]
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            text = html.escape(str(value))
+            if col == "verdict":
+                text = f'<span class="{"pass" if value == "PASS" else "fail"}">{text}</span>'
+            cells.append(f"<td>{text}</td>")
+        lines.append("<tr>" + "".join(cells) + "</tr>")
+    lines.append("</table>")
+    return lines
+
+
+def run_report_html(
+    result,
+    *,
+    slo: Optional[SLOThresholds] = None,
+    sink: Optional[MemoryTraceSink] = None,
+    title: Optional[str] = None,
+    top_span_count: int = 10,
+) -> str:
+    """Render one run as a single self-contained HTML page (inline SVG)."""
+    heading = title or f"Run report: {result.workload} [{result.scheduler}]"
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html.escape(heading)}</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        f"<h1>{html.escape(heading)}</h1>",
+    ]
+    parts += _html_table([{str(k): v for k, v in _summary_rows(result)}])
+
+    parts.append("<h2>Tenants</h2>")
+    if result.attribution is None:
+        parts.append("<p>No provenance tags recorded (not a scenario-built workload).</p>")
+    else:
+        parts += _html_table(_tenant_rows(result))
+        problems = reconcile_attribution(result)
+        if problems:
+            parts.append('<p class="fail">Reconciliation FAILED:</p><ul>')
+            parts += [f"<li>{html.escape(problem)}</li>" for problem in problems]
+            parts.append("</ul>")
+        else:
+            parts.append(
+                '<p class="pass">Reconciliation: per-tenant counts, bytes and '
+                "pooled percentile inputs match the aggregate exactly.</p>"
+            )
+
+    checks = slo_verdicts(result, slo) if slo else []
+    if checks:
+        parts.append("<h2>SLO checks</h2>")
+        parts += _html_table(
+            [
+                {
+                    "tenant": check.tenant,
+                    "metric": check.metric,
+                    "limit_us": check.limit_us,
+                    "actual_us": check.actual_us,
+                    "verdict": "PASS" if check.ok else "FAIL",
+                }
+                for check in checks
+            ]
+        )
+
+    series = _health_series(result)
+    if series:
+        first, last = result.health[0].t_ns, result.health[-1].t_ns
+        parts.append("<h2>Health</h2>")
+        parts.append(
+            f"<p>{len(result.health)} samples over "
+            f"{round((last - first) / 1_000_000.0, 3)} ms of simulated time.</p>"
+        )
+        parts.append("<table>")
+        parts.append("<tr><th>gauge</th><th>series</th><th>min</th><th>max</th><th>last</th></tr>")
+        for label, values in series:
+            parts.append(
+                f"<tr><td>{html.escape(label)}</td><td>{svg_sparkline(values)}</td>"
+                f"<td>{min(values):g}</td><td>{max(values):g}</td>"
+                f"<td>{values[-1]:g}</td></tr>"
+            )
+        parts.append("</table>")
+
+    if result.counters:
+        parts.append("<h2>Counters</h2>")
+        parts += _html_table(
+            [{"counter": name, "value": result.counters[name]} for name in sorted(result.counters)]
+        )
+
+    if sink is not None:
+        spans = _top_spans(sink, top_span_count)
+        if spans:
+            parts.append("<h2>Top spans</h2>")
+            parts += _html_table(spans)
+
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def write_run_report(
+    path: Union[str, Path],
+    result,
+    *,
+    slo: Optional[SLOThresholds] = None,
+    sink: Optional[MemoryTraceSink] = None,
+    title: Optional[str] = None,
+    fmt: Optional[str] = None,
+) -> Path:
+    """Write a run report to ``path``; format from ``fmt`` or the suffix.
+
+    ``.html``/``.htm`` produce the HTML page, anything else markdown
+    (``fmt`` in ``{"html", "markdown", "md"}`` overrides the suffix).
+    """
+    target = Path(path)
+    if fmt is None:
+        fmt = "html" if target.suffix.lower() in (".html", ".htm") else "markdown"
+    if fmt == "html":
+        content = run_report_html(result, slo=slo, sink=sink, title=title)
+    elif fmt in ("markdown", "md"):
+        content = run_report_markdown(result, slo=slo, sink=sink, title=title)
+    else:
+        raise ValueError(f"unknown report format {fmt!r}; expected html or markdown")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(content, encoding="utf-8")
+    return target

@@ -25,6 +25,8 @@ def copy_request(io: IORequest, **overrides) -> IORequest:
         "size_bytes": io.size_bytes,
         "arrival_ns": io.arrival_ns,
         "force_unit_access": io.force_unit_access,
+        "tenant": io.tenant,
+        "phase_index": io.phase_index,
     }
     fields.update(overrides)
     return IORequest(**fields)

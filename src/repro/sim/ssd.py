@@ -46,6 +46,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.metrics.latency import DEFAULT_TAIL_WINDOW_NS
 from repro.metrics.report import SimulationResult
 from repro.obs.counters import CounterRegistry
+from repro.obs.health import DEFAULT_MAX_HEALTH_SAMPLES, HealthSampler
 from repro.obs.trace import NULL_SINK, TraceSink
 from repro.nvmhc.dma import DmaEngine
 from repro.nvmhc.queue import DeviceQueue
@@ -68,12 +69,14 @@ class SSDSimulator:
         metrics_window: int = 4096,
         tail_window_ns: int = DEFAULT_TAIL_WINDOW_NS,
         trace_sink: Optional[TraceSink] = None,
+        health_interval_ns: Optional[int] = None,
+        health_max_samples: int = DEFAULT_MAX_HEALTH_SAMPLES,
     ) -> None:
         # ``metrics_history``/``metrics_window``/``tail_window_ns``/
-        # ``trace_sink`` are deliberately NOT part of SimulationConfig: they
-        # change how much telemetry is retained, never the simulated
-        # behaviour, and config fields feed the result fingerprints (see
-        # repro.sim.config.canonicalize).
+        # ``trace_sink``/``health_interval_ns`` are deliberately NOT part of
+        # SimulationConfig: they change how much telemetry is retained,
+        # never the simulated behaviour, and config fields feed the result
+        # fingerprints (see repro.sim.config.canonicalize).
         self.config = config
         self.geometry = config.geometry
         self.timing = config.timing
@@ -137,6 +140,13 @@ class SSDSimulator:
         for controller in self.controllers.values():
             controller.sink = self.sink
         self.gc.sink = self.sink
+        # Periodic health sampling, off by default: the hot loop pays one
+        # ``is not None`` test per timestamp batch when disabled.
+        self._health: Optional[HealthSampler] = (
+            HealthSampler(health_interval_ns, max_samples=health_max_samples)
+            if health_interval_ns is not None
+            else None
+        )
 
         # --- bookkeeping ----------------------------------------------------------
         self.metrics = MetricsCollector(
@@ -246,6 +256,7 @@ class SSDSimulator:
         handle_done = self._handle_transaction_done
         handle_decision = self._handle_decision
         handle_arrival = self._handle_arrival
+        health = self._health
         ordered = self._pending
         events = self.events
         pop_batch = events.pop_batch
@@ -260,6 +271,8 @@ class SSDSimulator:
             batch_ns = peek_time()
             if arrival_ns is not None and (batch_ns is None or arrival_ns <= batch_ns):
                 self.now_ns = arrival_ns
+                if health is not None and arrival_ns >= health.next_due_ns:
+                    health.sample(self, arrival_ns)
                 admitted = 0
                 while index < total and ordered[index].arrival_ns == arrival_ns:
                     handle_arrival(ordered[index])
@@ -274,6 +287,8 @@ class SSDSimulator:
                 break
             time_ns, batch = pop_batch()
             self.now_ns = time_ns
+            if health is not None and time_ns >= health.next_due_ns:
+                health.sample(self, time_ns)
             for event in batch:
                 kind = event[2]
                 if kind is compose_done:
@@ -598,6 +613,11 @@ class SSDSimulator:
             }
         )
         counters.update(self.scheduler.observability_counters())
+        attribution = self.metrics.attribution.finish(
+            total_ios=self.metrics.completed_ios, total_bytes=self.metrics.total_bytes
+        )
+        if attribution is not None:
+            counters.update(attribution.counter_slices())
         result = SimulationResult(
             scheduler=self.scheduler.name,
             workload=workload_name,
@@ -633,6 +653,8 @@ class SSDSimulator:
             largest_event_batch=self.events.largest_batch,
             counters=counters.snapshot(),
             latency_windows=self.metrics.tail.finish(),
+            attribution=attribution,
+            health=self._health.finish() if self._health is not None else (),
         )
         return result
 
@@ -648,6 +670,8 @@ def run_workload(
     metrics_window: int = 4096,
     tail_window_ns: int = DEFAULT_TAIL_WINDOW_NS,
     trace_sink: Optional[TraceSink] = None,
+    health_interval_ns: Optional[int] = None,
+    health_max_samples: int = DEFAULT_MAX_HEALTH_SAMPLES,
 ) -> SimulationResult:
     """Convenience wrapper: build a simulator, run one workload, return the result."""
     simulator = SSDSimulator(
@@ -658,5 +682,7 @@ def run_workload(
         metrics_window=metrics_window,
         tail_window_ns=tail_window_ns,
         trace_sink=trace_sink,
+        health_interval_ns=health_interval_ns,
+        health_max_samples=health_max_samples,
     )
     return simulator.run(workload, workload_name=workload_name)

@@ -49,6 +49,13 @@ class IORequest:
     enqueued_at_ns: Optional[int] = None
     completed_at_ns: Optional[int] = None
 
+    # Provenance tags, stamped by the scenario engine at build time (see
+    # Phase.build).  Purely observational: the simulator never reads them,
+    # freeze_requests drops them, and they stay out of every content
+    # fingerprint - a tagged run is digest-identical to an untagged one.
+    tenant: Optional[str] = None
+    phase_index: Optional[int] = None
+
     def __post_init__(self) -> None:
         if self.offset_bytes < 0:
             raise ValueError("offset_bytes must be non-negative")
