@@ -22,6 +22,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.array.layout import ArrayLayout
+from repro.metrics.attribution import (
+    AttributionReport,
+    merge_attribution_reports,
+    untagged_report,
+)
 from repro.metrics.latency import LatencyStats, merge_latency_stats
 from repro.metrics.report import SimulationResult
 from repro.metrics.utilization import UtilizationReport, merge_utilization_reports
@@ -43,6 +48,12 @@ class ArrayResult:
     #: (``dev3.gc.triggers``), mirroring how merge_utilization_reports
     #: namespaces chip keys - no cross-device aggregation surprises.
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Per-tenant/per-phase attribution pooled across devices (``None`` when
+    #: no device recorded any tagged completion).  Devices without tags
+    #: contribute their totals to the untagged remainder, so
+    #: :func:`repro.metrics.attribution.reconcile_attribution` holds exactly
+    #: at array level too.
+    attribution: Optional[AttributionReport] = None
 
     # ------------------------------------------------------------------
     # Aggregate throughput (devices run concurrently -> figures add up)
@@ -138,7 +149,24 @@ def merge_device_results(
     workload: str,
     policy: str,
 ) -> ArrayResult:
-    """Fold per-device :class:`SimulationResult`s into one :class:`ArrayResult`."""
+    """Fold per-device :class:`SimulationResult`s into one :class:`ArrayResult`.
+
+    Attribution merges exactly: per-(tenant, phase) slices sum across
+    devices, and devices that saw no tagged traffic count toward the
+    untagged remainder.  The merged report is ``None`` only when *no*
+    device carries attribution (fully untagged workloads).
+    """
+    if any(result.attribution is not None for result in results):
+        attribution = merge_attribution_reports(
+            [
+                result.attribution
+                if result.attribution is not None
+                else untagged_report(result.completed_ios, result.total_bytes)
+                for result in results
+            ]
+        )
+    else:
+        attribution = None
     return ArrayResult(
         scheduler=scheduler,
         workload=workload,
@@ -159,6 +187,7 @@ def merge_device_results(
                 for index, result in enumerate(results)
             ]
         ),
+        attribution=attribution,
     )
 
 

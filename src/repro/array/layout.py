@@ -233,6 +233,11 @@ def split_trace(requests: Sequence[IORequest], layout: ArrayLayout) -> List[List
                     size_bytes=size,
                     arrival_ns=io.arrival_ns,
                     force_unit_access=io.force_unit_access,
+                    # Provenance tags survive the split so per-device
+                    # attribution can be merged back per tenant (the tags
+                    # are observational and never enter fingerprints).
+                    tenant=io.tenant,
+                    phase_index=io.phase_index,
                 )
             )
     for sub_trace in per_device:

@@ -33,7 +33,7 @@ from repro.metrics.report import SimulationResult
 from repro.scenarios.scenario import SCENARIO_VERSION, Scenario
 from repro.sim.config import SimulationConfig, stable_fingerprint
 from repro.sim.ssd import SSDSimulator
-from repro.workloads.build import build_generator, freeze_requests
+from repro.workloads.build import build_generator, freeze_requests, strip_request_tags
 from repro.workloads.request import IORequest
 
 #: Bump when the semantics of job execution change in a way that invalidates
@@ -113,14 +113,23 @@ class WorkloadSpec:
         )
 
     @classmethod
-    def inline(cls, name: str, requests: Sequence[IORequest]) -> "WorkloadSpec":
+    def inline(
+        cls, name: str, requests: Sequence[IORequest], *, keep_tags: bool = False
+    ) -> "WorkloadSpec":
         """Freeze an already-materialised request list into a spec.
 
         Used by legacy call sites that hand the runner raw request lists; the
         requests are stored as plain value tuples, so the spec stays hashable
         and rebuilds (with fresh ids) identically in any process.
+
+        ``keep_tags=True`` preserves the observational provenance tags
+        (``tenant``/``phase_index``) through the freeze/thaw round trip so
+        attribution survives; :meth:`fingerprint` strips the tags before
+        hashing, keeping a tagged spec cache-compatible with the identical
+        untagged trace.
         """
-        return cls("inline", name, (("requests", freeze_requests(requests)),))
+        frozen = freeze_requests(requests, keep_tags=keep_tags)
+        return cls("inline", name, (("requests", frozen),))
 
     # -- materialisation -------------------------------------------------
     def build(self) -> List[IORequest]:
@@ -138,8 +147,21 @@ class WorkloadSpec:
         return requests
 
     def fingerprint(self) -> str:
-        """Stable content hash of the workload recipe."""
-        return stable_fingerprint(("workload", SPEC_VERSION, self.generator, self.name, self.params))
+        """Stable content hash of the workload recipe.
+
+        Inline specs hash the *untagged* view of their frozen requests:
+        provenance tags are observational (they never change simulated
+        behaviour), so a tagged inline spec fingerprints byte-identically to
+        the same trace frozen without tags - cache entries and perf-golden
+        fingerprints are unaffected by tagging.
+        """
+        params = self.params
+        if self.generator == "inline":
+            params = tuple(
+                (key, strip_request_tags(value) if key == "requests" else value)
+                for key, value in params
+            )
+        return stable_fingerprint(("workload", SPEC_VERSION, self.generator, self.name, params))
 
 
 @dataclass(frozen=True)
@@ -319,6 +341,10 @@ class ArraySpec:
         sweeping schedulers over one layout can pass the already-split
         ``sub_traces`` to skip the rebuild (see
         :func:`repro.experiments.array_scaling.run_array_specs`).
+
+        Sub-traces are frozen with their provenance tags so tagged scenario
+        workloads keep per-tenant attribution on every device; the tags are
+        stripped at fingerprint time, so cache keys are unchanged.
         """
         from repro.array.layout import split_trace
 
@@ -327,7 +353,9 @@ class ArraySpec:
         return tuple(
             SimJob(
                 workload=WorkloadSpec.inline(
-                    f"{self.workload.name}@dev{device}/{self.num_devices}", sub_trace
+                    f"{self.workload.name}@dev{device}/{self.num_devices}",
+                    sub_trace,
+                    keep_tags=True,
                 ),
                 scheduler=self.scheduler,
                 config=self.config,

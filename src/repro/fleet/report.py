@@ -1,0 +1,196 @@
+"""Fleet run reports: cluster summary, placement, SLOs, admission, valleys.
+
+The fleet analogue of :mod:`repro.obs.report`: one self-contained markdown
+or HTML artifact per fleet run, sharing the run report's table renderers
+and page chrome so every report in the repo reads the same.  The report
+always ends with the exact-reconciliation verdict of
+:func:`~repro.fleet.result.reconcile_fleet` - a fleet report that renders
+"FAILED" is telling you the merge math broke, not the workload.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.fleet.result import FleetResult, reconcile_fleet
+from repro.obs.report import html_document, render_html_table, render_markdown_table
+
+
+def _summary_items(fleet: FleetResult) -> List[tuple]:
+    row = fleet.summary_row()
+    return [
+        ("fleet", row["fleet"]),
+        ("placement", row["placement"]),
+        ("nodes", row["nodes"]),
+        ("completed I/Os", fleet.completed_ios),
+        ("total MB", round(fleet.total_bytes / (1024.0 * 1024.0), 2)),
+        ("makespan (ms)", round(fleet.makespan_ns / 1_000_000.0, 3)),
+        ("bandwidth (MB/s)", row["bandwidth_mb_s"]),
+        ("IOPS", row["iops"]),
+        ("p99 latency (us)", row["p99_latency_us"]),
+        ("byte imbalance", row["byte_imbalance"]),
+        ("IOPS imbalance", row["iops_imbalance"]),
+        ("SLO violations", row["slo_violations"]),
+        ("throttled / rejected", f"{fleet.throttled_ios} / {fleet.rejected_ios}"),
+        ("background I/Os", fleet.background_ios),
+    ]
+
+
+def _tenant_rows(fleet: FleetResult) -> List[Dict[str, object]]:
+    report = fleet.attribution
+    if report is None:
+        return []
+    rows = [entry.summary_row() for entry in report.entries]
+    for entry in report.tenant_totals():
+        row = entry.summary_row()
+        row["phase"] = "(all)"
+        rows.append(row)
+    if report.untagged_ios:
+        rows.append(
+            {
+                "phase": "-",
+                "tenant": "(untagged)",
+                "ios": report.untagged_ios,
+                "mb": round(report.untagged_bytes / (1024.0 * 1024.0), 2),
+            }
+        )
+    return rows
+
+
+def _slo_rows(fleet: FleetResult) -> List[Dict[str, object]]:
+    return [
+        {
+            "tenant": check.tenant,
+            "metric": check.metric,
+            "limit_us": check.limit_us,
+            "actual_us": check.actual_us,
+            "verdict": "PASS" if check.ok else "FAIL",
+        }
+        for check in fleet.slo_checks
+    ]
+
+
+def fleet_report_markdown(fleet: FleetResult, *, title: Optional[str] = None) -> str:
+    """Render one fleet run as a self-contained markdown report."""
+    lines = [f"# {title or f'Fleet report: {fleet.name} [{fleet.placement}]'}", ""]
+    lines += [f"- **{name}**: {value}" for name, value in _summary_items(fleet)]
+
+    lines += ["", "## Placement", ""]
+    lines += render_markdown_table(
+        [
+            {"tenant": tenant, "node": fleet.node_names[index]}
+            for tenant, index in fleet.plan.assignments
+        ]
+    )
+
+    lines += ["", "## Nodes", ""]
+    lines += render_markdown_table(fleet.node_rows())
+
+    tenant_rows = _tenant_rows(fleet)
+    if tenant_rows:
+        lines += ["", "## Tenants", ""]
+        lines += render_markdown_table(tenant_rows)
+
+    slo_rows = _slo_rows(fleet)
+    if slo_rows:
+        lines += ["", "## SLO checks", ""]
+        lines += render_markdown_table(slo_rows)
+
+    if fleet.admission:
+        lines += ["", "## Admission", ""]
+        lines += render_markdown_table([stats.rows() for stats in fleet.admission])
+
+    if fleet.background:
+        lines += ["", "## Background work", ""]
+        lines += render_markdown_table([stats.rows() for stats in fleet.background])
+
+    problems = reconcile_fleet(fleet)
+    lines.append("")
+    lines.append("## Reconciliation")
+    lines.append("")
+    if problems:
+        lines.append("**Reconciliation FAILED:**")
+        lines += [f"- {problem}" for problem in problems]
+    else:
+        lines.append(
+            "Per-tenant counts, bytes and pooled percentile inputs match the "
+            "summed per-array attribution exactly."
+        )
+    return "\n".join(lines) + "\n"
+
+
+def fleet_report_html(fleet: FleetResult, *, title: Optional[str] = None) -> str:
+    """Render one fleet run as a single self-contained HTML page."""
+    heading = title or f"Fleet report: {fleet.name} [{fleet.placement}]"
+    parts: List[str] = []
+    parts += render_html_table([{str(k): v for k, v in _summary_items(fleet)}])
+
+    parts.append("<h2>Placement</h2>")
+    parts += render_html_table(
+        [
+            {"tenant": tenant, "node": fleet.node_names[index]}
+            for tenant, index in fleet.plan.assignments
+        ]
+    )
+
+    parts.append("<h2>Nodes</h2>")
+    parts += render_html_table(fleet.node_rows())
+
+    tenant_rows = _tenant_rows(fleet)
+    if tenant_rows:
+        parts.append("<h2>Tenants</h2>")
+        parts += render_html_table(tenant_rows)
+
+    slo_rows = _slo_rows(fleet)
+    if slo_rows:
+        parts.append("<h2>SLO checks</h2>")
+        parts += render_html_table(slo_rows)
+
+    if fleet.admission:
+        parts.append("<h2>Admission</h2>")
+        parts += render_html_table([stats.rows() for stats in fleet.admission])
+
+    if fleet.background:
+        parts.append("<h2>Background work</h2>")
+        parts += render_html_table([stats.rows() for stats in fleet.background])
+
+    parts.append("<h2>Reconciliation</h2>")
+    problems = reconcile_fleet(fleet)
+    if problems:
+        parts.append('<p class="fail">Reconciliation FAILED:</p><ul>')
+        parts += [f"<li>{html.escape(problem)}</li>" for problem in problems]
+        parts.append("</ul>")
+    else:
+        parts.append(
+            '<p class="pass">Per-tenant counts, bytes and pooled percentile '
+            "inputs match the summed per-array attribution exactly.</p>"
+        )
+    return html_document(heading, parts)
+
+
+def write_fleet_report(
+    path: Union[str, Path],
+    fleet: FleetResult,
+    *,
+    title: Optional[str] = None,
+    fmt: Optional[str] = None,
+) -> Path:
+    """Write a fleet report to ``path``; format from ``fmt`` or the suffix.
+
+    Mirrors :func:`repro.obs.report.write_run_report`: ``.html``/``.htm``
+    produce the HTML page, anything else markdown.
+    """
+    target = Path(path)
+    if fmt is None:
+        fmt = "html" if target.suffix.lower() in (".html", ".htm") else "markdown"
+    if fmt == "html":
+        content = fleet_report_html(fleet, title=title)
+    elif fmt in ("markdown", "md"):
+        content = fleet_report_markdown(fleet, title=title)
+    else:
+        raise ValueError(f"unknown report format {fmt!r}; expected html or markdown")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(content, encoding="utf-8")
+    return target

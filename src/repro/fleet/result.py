@@ -1,0 +1,261 @@
+"""Fleet-level result merging and exact reconciliation.
+
+A :class:`FleetResult` folds per-node :class:`~repro.array.host.ArrayResult`
+objects into cluster aggregates the same way the array layer folds device
+results: throughput figures add (nodes run concurrently and
+independently), latency percentiles pool the union sample population, and
+attribution merges exactly - per-tenant counts, bytes and (full-history)
+percentile inputs at fleet level are precisely the sums of the per-array
+slices.  :func:`reconcile_fleet` asserts that chain end to end, which is
+what makes per-tenant SLO verdicts at fleet scale trustworthy rather than
+approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.array.host import ArrayResult
+from repro.fleet.admission import AdmissionStats
+from repro.fleet.background import BackgroundStats
+from repro.fleet.placement import PlacementPlan
+from repro.fleet.spec import FleetSpec
+from repro.metrics.attribution import (
+    AttributionReport,
+    merge_attribution_reports,
+    reconcile_attribution,
+    untagged_report,
+)
+from repro.metrics.latency import LatencyStats, merge_latency_stats
+from repro.obs.report import SLOCheck
+
+
+def _max_to_mean(values: Sequence[float]) -> float:
+    """Max-to-mean imbalance ratio with the 0.0 empty/idle sentinel."""
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean <= 0.0:
+        return 0.0
+    return max(values) / mean
+
+
+@dataclass
+class FleetResult:
+    """Merged outcome of one fleet run across every node."""
+
+    name: str
+    placement: str
+    node_names: Tuple[str, ...]
+    node_results: Tuple[ArrayResult, ...]
+    plan: PlacementPlan
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    #: Per-tenant/per-phase attribution pooled across the whole fleet.
+    attribution: Optional[AttributionReport] = None
+    admission: Tuple[AdmissionStats, ...] = ()
+    background: Tuple[BackgroundStats, ...] = ()
+    #: Per-tenant SLO verdicts (policy override else fleet default; ``bg:``
+    #: maintenance slices are never checked).
+    slo_checks: Tuple[SLOCheck, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Aggregate throughput (nodes run concurrently -> figures add up)
+    # ------------------------------------------------------------------
+    @property
+    def aggregate_bandwidth_kb_s(self) -> float:
+        """Fleet bandwidth: the sum of per-node array bandwidths."""
+        return sum(result.aggregate_bandwidth_kb_s for result in self.node_results)
+
+    @property
+    def aggregate_iops(self) -> float:
+        """Fleet IOPS: the sum of per-node array IOPS."""
+        return sum(result.aggregate_iops for result in self.node_results)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes served across the fleet."""
+        return sum(result.total_bytes for result in self.node_results)
+
+    @property
+    def completed_ios(self) -> int:
+        """Device commands completed across the fleet (split fragments)."""
+        return sum(result.completed_ios for result in self.node_results)
+
+    @property
+    def makespan_ns(self) -> int:
+        """Fleet wall-clock: the slowest node's makespan."""
+        return max((result.makespan_ns for result in self.node_results), default=0)
+
+    # ------------------------------------------------------------------
+    # Placement balance
+    # ------------------------------------------------------------------
+    def byte_imbalance(self) -> float:
+        """Max-to-mean ratio of bytes served per node; 1.0 is balanced."""
+        return _max_to_mean([result.total_bytes for result in self.node_results])
+
+    def iops_imbalance(self) -> float:
+        """Max-to-mean ratio of per-node IOPS; 1.0 is balanced."""
+        return _max_to_mean([result.aggregate_iops for result in self.node_results])
+
+    # ------------------------------------------------------------------
+    # SLO accounting
+    # ------------------------------------------------------------------
+    def slo_violations(self) -> Dict[str, int]:
+        """Failed SLO checks per tenant (tenants with none map to 0)."""
+        violations: Dict[str, int] = {}
+        for check in self.slo_checks:
+            violations.setdefault(check.tenant, 0)
+            if not check.ok:
+                violations[check.tenant] += 1
+        return violations
+
+    @property
+    def slo_violations_total(self) -> int:
+        """Failed SLO checks across every tenant."""
+        return sum(1 for check in self.slo_checks if not check.ok)
+
+    # ------------------------------------------------------------------
+    # Admission / background roll-ups
+    # ------------------------------------------------------------------
+    @property
+    def offered_ios(self) -> int:
+        """Host requests the scenario offered (before admission)."""
+        return sum(stats.offered for stats in self.admission)
+
+    @property
+    def rejected_ios(self) -> int:
+        """Host requests dropped by admission control."""
+        return sum(stats.rejected for stats in self.admission)
+
+    @property
+    def throttled_ios(self) -> int:
+        """Host requests delayed by rate pacing."""
+        return sum(stats.throttled for stats in self.admission)
+
+    @property
+    def background_ios(self) -> int:
+        """Background requests injected across the fleet."""
+        return sum(stats.requests for stats in self.background)
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def summary_row(self) -> Dict[str, object]:
+        """One row of the fleet-comparison tables."""
+        return {
+            "fleet": self.name,
+            "placement": self.placement,
+            "nodes": len(self.node_results),
+            "bandwidth_mb_s": round(self.aggregate_bandwidth_kb_s / 1024.0, 1),
+            "iops": round(self.aggregate_iops, 1),
+            "p99_latency_us": round(self.latency.percentile_ns(0.99) / 1_000.0, 1),
+            "slo_violations": self.slo_violations_total,
+            "byte_imbalance": round(self.byte_imbalance(), 3),
+            "iops_imbalance": round(self.iops_imbalance(), 3),
+            "throttled": self.throttled_ios,
+            "rejected": self.rejected_ios,
+            "bg_ios": self.background_ios,
+        }
+
+    def node_rows(self) -> List[Dict[str, object]]:
+        """Per-node rows (the array summary prefixed with the node name)."""
+        return [
+            {"node": name, **result.summary_row()}
+            for name, result in zip(self.node_names, self.node_results)
+        ]
+
+
+def merge_node_results(
+    spec: FleetSpec,
+    plan: PlacementPlan,
+    node_results: Sequence[ArrayResult],
+    admission: Sequence[AdmissionStats] = (),
+    background: Sequence[BackgroundStats] = (),
+) -> FleetResult:
+    """Fold per-node :class:`ArrayResult`s into one :class:`FleetResult`.
+
+    Attribution merges exactly across nodes (nodes without tagged traffic
+    count toward the untagged remainder); SLO checks are evaluated on the
+    merged per-tenant latency populations, skipping ``bg:`` maintenance
+    slices.
+    """
+    if any(result.attribution is not None for result in node_results):
+        attribution = merge_attribution_reports(
+            [
+                result.attribution
+                if result.attribution is not None
+                else untagged_report(result.completed_ios, result.total_bytes)
+                for result in node_results
+            ]
+        )
+    else:
+        attribution = None
+
+    slo_checks: List[SLOCheck] = []
+    if attribution is not None:
+        for entry in attribution.tenant_totals():
+            if entry.tenant.startswith("bg:"):
+                continue
+            slo = spec.slo_for(entry.tenant)
+            if slo:
+                slo_checks.extend(slo.check(entry.tenant, entry.latency))
+
+    return FleetResult(
+        name=spec.name,
+        placement=spec.placement,
+        node_names=spec.node_names(),
+        node_results=tuple(node_results),
+        plan=plan,
+        latency=merge_latency_stats([result.latency for result in node_results]),
+        attribution=attribution,
+        admission=tuple(admission),
+        background=tuple(background),
+        slo_checks=tuple(slo_checks),
+    )
+
+
+def reconcile_fleet(fleet: FleetResult) -> List[str]:
+    """Check the fleet's attribution chain end to end; empty = exact.
+
+    Two layers of invariants:
+
+    1. :func:`~repro.metrics.attribution.reconcile_attribution` on the
+       fleet aggregate (tagged + untagged == totals, per-slice sample
+       counts, pooled percentile population).
+    2. The merge itself: every fleet-level per-tenant slice must equal the
+       *sum* of that tenant's per-array slices - counts, bytes and (full
+       history) the latency sample population, compared exactly.
+    """
+    problems = list(reconcile_attribution(fleet))
+    if fleet.attribution is None:
+        return problems
+    for tenant in fleet.attribution.tenants():
+        merged = fleet.attribution.by_tenant(tenant)
+        node_slices = [
+            result.attribution.by_tenant(tenant)
+            for result in fleet.node_results
+            if result.attribution is not None
+            and tenant in result.attribution.tenants()
+        ]
+        ios = sum(entry.completed_ios for entry in node_slices)
+        volume = sum(entry.total_bytes for entry in node_slices)
+        if ios != merged.completed_ios:
+            problems.append(
+                f"tenant {tenant!r}: fleet slice counts {merged.completed_ios} "
+                f"I/Os but per-array slices sum to {ios}"
+            )
+        if volume != merged.total_bytes:
+            problems.append(
+                f"tenant {tenant!r}: fleet slice counts {merged.total_bytes} "
+                f"bytes but per-array slices sum to {volume}"
+            )
+        pooled: List[int] = []
+        for entry in node_slices:
+            pooled.extend(entry.latency.samples_ns)
+        if len(pooled) == ios and sorted(pooled) != sorted(merged.latency.samples_ns):
+            problems.append(
+                f"tenant {tenant!r}: fleet latency population does not match "
+                "the union of per-array samples"
+            )
+    return problems

@@ -1,0 +1,289 @@
+"""Declarative fleet specifications: N arrays behind one cluster scheduler.
+
+A :class:`FleetSpec` is the cluster-level analogue of
+:class:`~repro.experiments.spec.ArraySpec`: pure frozen data describing a
+multi-tenant :class:`~repro.scenarios.scenario.Scenario` served by a fleet
+of heterogeneous array nodes (:class:`FleetNodeSpec`, device-zoo ids
+welcome), a placement policy assigning tenants to nodes, per-tenant
+admission limits and SLO targets (:class:`TenantPolicy`), and deferrable
+background work (:class:`BackgroundJob`) scheduled into load valleys.
+
+Like every spec layer below it, a fleet spec is hashable, picklable and
+content-fingerprintable; :func:`repro.fleet.run.run_fleet` expands it into
+ordinary cache-aware device jobs, so serial and process runs of the same
+spec are bit-identical and memoize per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.experiments.spec import SPEC_VERSION, ArraySpec, WorkloadSpec
+from repro.obs.report import SLOThresholds
+from repro.scenarios.scenario import Scenario
+from repro.sim.config import SimulationConfig, stable_fingerprint
+
+KB = 1024
+MB = 1024 * KB
+
+#: Bump when fleet-building semantics change in a cache-invalidating way.
+FLEET_VERSION = 1
+
+#: Cluster-level placement policies understood by
+#: :func:`repro.fleet.placement.plan_placement`.
+FLEET_PLACEMENT_POLICIES = ("round-robin", "least-loaded", "tenant-affinity", "hash")
+
+#: Background job kinds understood by :mod:`repro.fleet.background`.
+BACKGROUND_KINDS = ("scrub", "rebuild", "gc-debt")
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Cluster-level controls for one tenant.
+
+    ``affinity`` pins the tenant to a named node (used by the
+    ``tenant-affinity`` placement policy; other policies ignore it).
+    ``max_iops`` paces admissions to a minimum inter-arrival gap and
+    ``max_queue_depth`` rejects arrivals that would exceed the tenant's
+    virtual in-flight window (see :mod:`repro.fleet.admission`).  ``slo``
+    overrides the fleet's ``default_slo`` for this tenant's verdicts.
+    """
+
+    affinity: Optional[str] = None
+    max_iops: Optional[float] = None
+    max_queue_depth: Optional[int] = None
+    slo: Optional[SLOThresholds] = None
+
+    def __post_init__(self) -> None:
+        """Validate the limit fields."""
+        if self.max_iops is not None and self.max_iops <= 0:
+            raise ValueError("max_iops must be positive when given")
+        if self.max_queue_depth is not None and self.max_queue_depth <= 0:
+            raise ValueError("max_queue_depth must be positive when given")
+
+
+@dataclass(frozen=True)
+class BackgroundJob:
+    """One deferrable maintenance job targeted at one node.
+
+    ``kind`` selects the request shape (``scrub``/``rebuild`` issue reads,
+    ``gc-debt`` issues seeded random overwrites); the job's requests are
+    injected into the emptiest load valley of the node's foreground traffic
+    that still meets ``deadline_ns`` (best effort - the result records
+    whether the deadline held).  Background requests carry the provenance
+    tag ``bg:<kind>``, so they show up as their own attribution slice and
+    are excluded from tenant SLO accounting.
+    """
+
+    kind: str
+    node: str
+    num_requests: int = 16
+    size_bytes: int = 64 * KB
+    #: Absolute scenario-time deadline for the last request (``None`` = none).
+    deadline_ns: Optional[int] = None
+    #: Address window the job touches (``gc-debt`` scatters inside it).
+    address_span_bytes: int = 16 * MB
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate the job shape."""
+        if self.kind not in BACKGROUND_KINDS:
+            raise ValueError(
+                f"unknown background kind {self.kind!r}; expected one of {BACKGROUND_KINDS}"
+            )
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.deadline_ns is not None and self.deadline_ns <= 0:
+            raise ValueError("deadline_ns must be positive when given")
+        if self.address_span_bytes < self.size_bytes:
+            raise ValueError("address_span_bytes must cover at least one request")
+
+    @property
+    def tag(self) -> str:
+        """The provenance tag stamped on this job's requests."""
+        return f"bg:{self.kind}"
+
+
+@dataclass(frozen=True)
+class FleetNodeSpec:
+    """One array node of the fleet: a named, weighted ArraySpec recipe.
+
+    Mirrors :class:`~repro.experiments.spec.ArraySpec`'s device setup -
+    exactly one of ``config`` (homogeneous slots) or ``devices`` (one
+    device-zoo id per slot) - plus a cluster-facing ``weight`` used by the
+    ``least-loaded`` placement policy (a node of weight 2 absorbs twice the
+    bytes before looking as loaded as a weight-1 node).
+    """
+
+    name: str
+    scheduler: str = "SPK3"
+    config: Optional[SimulationConfig] = None
+    devices: Tuple[str, ...] = ()
+    num_devices: int = 1
+    policy: str = "stripe"
+    chunk_bytes: int = 64 * KB
+    shard_bytes: Optional[int] = None
+    scheduler_options: Tuple[Tuple[str, Any], ...] = ()
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        """Validate the device setup and weight."""
+        if (self.config is None) == (not self.devices):
+            raise ValueError(
+                f"node {self.name!r}: set exactly one of config= or devices="
+            )
+        if self.devices and len(self.devices) != self.num_devices:
+            raise ValueError(
+                f"node {self.name!r}: devices= lists {len(self.devices)} ids "
+                f"for {self.num_devices} slots"
+            )
+        if self.weight <= 0:
+            raise ValueError(f"node {self.name!r}: weight must be positive")
+
+    def array_spec(self, workload: WorkloadSpec, key: Tuple[Any, ...] = ()) -> ArraySpec:
+        """The :class:`ArraySpec` running ``workload`` on this node."""
+        return ArraySpec(
+            workload=workload,
+            num_devices=self.num_devices,
+            scheduler=self.scheduler,
+            config=self.config,
+            policy=self.policy,
+            chunk_bytes=self.chunk_bytes,
+            shard_bytes=self.shard_bytes,
+            scheduler_options=self.scheduler_options,
+            key=key,
+            devices=self.devices,
+        )
+
+    def resolved_configs(self) -> Tuple[SimulationConfig, ...]:
+        """Per-slot resolved configurations (zoo ids looked up)."""
+        if self.config is not None:
+            return tuple(self.config for _ in range(self.num_devices))
+        from repro.devices import device_config
+
+        return tuple(device_config(device) for device in self.devices)
+
+    def fingerprint(self) -> str:
+        """Content hash over the node recipe (zoo ids enter by content)."""
+        return stable_fingerprint(
+            (
+                "fleet-node",
+                SPEC_VERSION,
+                self.name,
+                self.scheduler,
+                self.num_devices,
+                self.policy,
+                self.chunk_bytes,
+                self.shard_bytes,
+                tuple(sorted(self.scheduler_options)),
+                self.resolved_configs(),
+                self.weight,
+            )
+        )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A multi-tenant scenario served by a fleet of array nodes.
+
+    The scenario is built once; tenants are assigned whole to nodes by the
+    ``placement`` policy, each tenant's stream passes its
+    :class:`TenantPolicy` admission limits, background jobs are slotted
+    into per-node load valleys, and every node then runs as an ordinary
+    :class:`~repro.experiments.spec.ArraySpec` through the execution
+    engine.  ``default_slo`` applies to tenants without a policy-level
+    override; ``nominal_service_ns`` is the service-time model of the
+    virtual queue-depth limiter and ``valley_windows`` the granularity of
+    the background scheduler's load histogram.
+    """
+
+    name: str
+    scenario: Scenario
+    nodes: Tuple[FleetNodeSpec, ...]
+    placement: str = "round-robin"
+    #: ``(tenant name, policy)`` pairs - a frozen mapping.
+    tenant_policies: Tuple[Tuple[str, TenantPolicy], ...] = ()
+    default_slo: Optional[SLOThresholds] = None
+    background: Tuple[BackgroundJob, ...] = ()
+    nominal_service_ns: int = 100_000
+    valley_windows: int = 32
+
+    def __post_init__(self) -> None:
+        """Validate node names, placement policy and background targets."""
+        if not self.nodes:
+            raise ValueError(f"fleet {self.name!r} needs at least one node")
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"fleet {self.name!r} has duplicate node names")
+        if self.placement not in FLEET_PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {self.placement!r}; "
+                f"expected one of {FLEET_PLACEMENT_POLICIES}"
+            )
+        for job in self.background:
+            if job.node not in names:
+                raise ValueError(
+                    f"background job {job.kind!r} targets unknown node {job.node!r}"
+                )
+        for tenant, policy in self.tenant_policies:
+            if policy.affinity is not None and policy.affinity not in names:
+                raise ValueError(
+                    f"tenant {tenant!r} pins unknown node {policy.affinity!r}"
+                )
+        if self.nominal_service_ns <= 0:
+            raise ValueError("nominal_service_ns must be positive")
+        if self.valley_windows <= 0:
+            raise ValueError("valley_windows must be positive")
+
+    def node_names(self) -> Tuple[str, ...]:
+        """Node names in declaration order."""
+        return tuple(node.name for node in self.nodes)
+
+    def tenants(self) -> Tuple[str, ...]:
+        """Distinct scenario tenant names, in declaration order.
+
+        A tenant appearing in several phases counts once; placement treats
+        it as one entity (all its phases land on the same node).
+        """
+        seen: List[str] = []
+        for phase in self.scenario.phases:
+            for tenant in phase.tenants:
+                if tenant.name not in seen:
+                    seen.append(tenant.name)
+        return tuple(seen)
+
+    def policy_for(self, tenant: str) -> Optional[TenantPolicy]:
+        """The :class:`TenantPolicy` of one tenant (``None`` when unset)."""
+        for name, policy in self.tenant_policies:
+            if name == tenant:
+                return policy
+        return None
+
+    def slo_for(self, tenant: str) -> Optional[SLOThresholds]:
+        """The SLO checked for one tenant (policy override, else default)."""
+        policy = self.policy_for(tenant)
+        if policy is not None and policy.slo is not None:
+            return policy.slo
+        return self.default_slo
+
+    def fingerprint(self) -> str:
+        """Content hash over everything that influences the fleet outcome."""
+        return stable_fingerprint(
+            (
+                "fleet",
+                FLEET_VERSION,
+                SPEC_VERSION,
+                self.name,
+                self.scenario.fingerprint(),
+                tuple(node.fingerprint() for node in self.nodes),
+                self.placement,
+                self.tenant_policies,
+                self.default_slo,
+                self.background,
+                self.nominal_service_ns,
+                self.valley_windows,
+            )
+        )

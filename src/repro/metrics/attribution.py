@@ -231,6 +231,65 @@ class AttributionTracker:
         )
 
 
+def merge_attribution_reports(
+    reports: Sequence["AttributionReport"],
+) -> Optional[AttributionReport]:
+    """Merge per-device (or per-array) attribution reports into one.
+
+    Slices with the same ``(tenant, phase_index)`` key are summed exactly:
+    counts and byte totals add, latency distributions pool via
+    :func:`merge_latency_stats` (full histories concatenate sample-for-
+    sample, so fleet-level percentiles are computed over the union
+    population).  Per-slice windowed tail series are dropped (``()``) -
+    windows from different devices overlap in time and cannot be merged
+    exactly, and the contract of this module is exactness or nothing.
+
+    ``untagged_ios``/``untagged_bytes`` add across inputs, preserving the
+    invariant that tagged slices plus the untagged remainder equal the
+    merged aggregate.  Returns ``None`` for an empty input sequence.
+    """
+    if not reports:
+        return None
+    merged: Dict[Tuple[str, int], List[TenantPhaseStats]] = {}
+    for report in reports:
+        for entry in report.entries:
+            merged.setdefault((entry.tenant, entry.phase_index), []).append(entry)
+    entries = tuple(
+        TenantPhaseStats(
+            tenant=tenant,
+            phase_index=phase_index,
+            completed_ios=sum(entry.completed_ios for entry in slices),
+            reads=sum(entry.reads for entry in slices),
+            writes=sum(entry.writes for entry in slices),
+            read_bytes=sum(entry.read_bytes for entry in slices),
+            write_bytes=sum(entry.write_bytes for entry in slices),
+            latency=merge_latency_stats([entry.latency for entry in slices]),
+            latency_windows=(),
+        )
+        for (tenant, phase_index), slices in sorted(
+            merged.items(), key=lambda item: (item[0][1], item[0][0])
+        )
+    )
+    return AttributionReport(
+        entries=entries,
+        untagged_ios=sum(report.untagged_ios for report in reports),
+        untagged_bytes=sum(report.untagged_bytes for report in reports),
+    )
+
+
+def untagged_report(completed_ios: int, total_bytes: int) -> AttributionReport:
+    """An attribution report for a result with no tagged completions.
+
+    Used when merging attribution across devices of which some saw no
+    tagged traffic (their ``attribution`` is ``None``): substituting an
+    all-untagged report keeps the tagged + untagged == aggregate invariant
+    exact across the merge.
+    """
+    return AttributionReport(
+        entries=(), untagged_ios=completed_ios, untagged_bytes=total_bytes
+    )
+
+
 def reconcile_attribution(result) -> List[str]:
     """Check a result's attribution against its aggregate stats.
 

@@ -50,6 +50,9 @@ _WINDOW_EXPORTS = (
 _REPORT_EXPORTS = (
     "SLOCheck",
     "SLOThresholds",
+    "html_document",
+    "render_html_table",
+    "render_markdown_table",
     "run_report_html",
     "run_report_markdown",
     "slo_verdicts",
@@ -60,6 +63,7 @@ _REPORT_EXPORTS = (
 
 
 def __getattr__(name: str):
+    """Resolve the lazily exported window/report symbols on first touch."""
     if name in _WINDOW_EXPORTS:
         from repro.obs import windows
 
@@ -96,6 +100,9 @@ __all__ = [
     "reference_tail_windows",
     "SLOCheck",
     "SLOThresholds",
+    "html_document",
+    "render_html_table",
+    "render_markdown_table",
     "run_report_html",
     "run_report_markdown",
     "slo_verdicts",

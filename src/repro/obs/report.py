@@ -198,6 +198,16 @@ def _top_spans(sink: MemoryTraceSink, count: int) -> List[Dict[str, object]]:
 # ----------------------------------------------------------------------
 # Markdown
 # ----------------------------------------------------------------------
+def render_markdown_table(rows: Sequence[Dict[str, object]]) -> List[str]:
+    """Render dict rows as GitHub-flavoured markdown table lines.
+
+    Columns come from the first row's keys; missing cells render empty.
+    Public so sibling report producers (the fleet report) share one table
+    idiom with the run reports.
+    """
+    return _md_table(rows)
+
+
 def _md_table(rows: Sequence[Dict[str, object]]) -> List[str]:
     if not rows:
         return []
@@ -301,6 +311,32 @@ _HTML_STYLE = (
     ".pass{color:#2a6;font-weight:bold}.fail{color:#c33;font-weight:bold}"
     "h2{border-bottom:1px solid #ddd;padding-bottom:0.2em}"
 )
+
+
+def render_html_table(rows: Sequence[Dict[str, object]], css_class: str = "") -> List[str]:
+    """Render dict rows as HTML table lines (``verdict`` cells colourised).
+
+    Public counterpart of :func:`render_markdown_table` for HTML reports.
+    """
+    return _html_table(rows, css_class)
+
+
+def html_document(title: str, body_parts: Sequence[str]) -> str:
+    """Wrap body fragments into the self-contained report page chrome.
+
+    Shares the run report's inline CSS so every report artifact of the repo
+    looks the same; ``body_parts`` are pre-rendered HTML fragments.
+    """
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        *body_parts,
+        "</body></html>",
+    ]
+    return "\n".join(parts) + "\n"
 
 
 def _html_table(rows: Sequence[Dict[str, object]], css_class: str = "") -> List[str]:

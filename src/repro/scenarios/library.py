@@ -209,6 +209,85 @@ def zoo_probe_scenario(*, num_requests: int = 48, seed: int = 11) -> Scenario:
     )
 
 
+def fleet_scenario(*, requests_per_tenant: int = 32, seed: int = 11) -> Scenario:
+    """Four range-isolated tenants over a day/night cycle - the fleet workload.
+
+    Built for :mod:`repro.fleet`: enough distinct tenants that every
+    placement policy produces a different assignment, with each tenant
+    confined to its own 16 MB slice of a 64 MB window, so any subset of
+    tenants fits the logical capacity of every shipped zoo device
+    (heterogeneous fleets stay valid whatever the placement).  A diurnal
+    "day" phase carries the interactive web and key-value tenants; a bursty
+    "night" phase adds the analytics scanner and log writer while the
+    key-value store keeps running - the valleys between night bursts are
+    what the background scheduler aims for.
+    """
+    web = Tenant.mixed(
+        "web",
+        num_requests=requests_per_tenant,
+        size_bytes=16 * KB,
+        address_space_bytes=64 * MB,
+        read_fraction=0.9,
+        randomness=0.8,
+        seed=seed,
+        address_base_bytes=0,
+        address_span_bytes=16 * MB,
+    )
+    kv = Tenant.random(
+        "kv",
+        num_requests=requests_per_tenant,
+        size_bytes=8 * KB,
+        address_space_bytes=64 * MB,
+        read_fraction=0.7,
+        seed=seed + 1,
+        address_base_bytes=16 * MB,
+        address_span_bytes=16 * MB,
+    )
+    analytics = Tenant.sequential(
+        "analytics",
+        num_requests=requests_per_tenant,
+        size_bytes=128 * KB,
+        read_fraction=1.0,
+        seed=seed + 2,
+        address_base_bytes=32 * MB,
+        address_span_bytes=16 * MB,
+    )
+    logger = Tenant.sequential(
+        "logger",
+        num_requests=requests_per_tenant,
+        size_bytes=64 * KB,
+        read_fraction=0.0,
+        seed=seed + 3,
+        address_base_bytes=48 * MB,
+        address_span_bytes=16 * MB,
+    )
+    return Scenario(
+        name="fleet",
+        seed=seed,
+        phases=(
+            Phase(
+                name="day",
+                tenants=(web, kv),
+                arrivals=DiurnalArrivals(
+                    base_interarrival_ns=2_500.0,
+                    amplitude=0.85,
+                    period_ns=120_000.0,
+                ),
+            ),
+            Phase(
+                name="night",
+                tenants=(analytics, logger, kv),
+                arrivals=BurstyArrivals(
+                    burst_interarrival_ns=500.0,
+                    idle_interarrival_ns=40_000.0,
+                    mean_burst_length=10.0,
+                    mean_idle_length=2.0,
+                ),
+            ),
+        ),
+    )
+
+
 def aged_device_state(*, steady_state: bool = False, seed: int = 11) -> DeviceState:
     """The canned aged starting point :func:`sustained_write_scenario` targets.
 

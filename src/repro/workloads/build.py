@@ -23,29 +23,67 @@ from repro.workloads.synthetic import (
 )
 
 #: One frozen request: (kind value, offset, size, arrival, force_unit_access).
-FrozenRequest = Tuple[str, int, int, int, bool]
+#: Tagged freezes (``freeze_requests(..., keep_tags=True)``) append
+#: ``(tenant, phase_index)``, widening the tuple to 7 entries.
+FrozenRequest = Tuple[Any, ...]
 
 
-def freeze_requests(requests: Sequence[IORequest]) -> Tuple[FrozenRequest, ...]:
-    """Reduce requests to hashable value tuples (for inline specs)."""
+def freeze_requests(
+    requests: Sequence[IORequest], *, keep_tags: bool = False
+) -> Tuple[FrozenRequest, ...]:
+    """Reduce requests to hashable value tuples (for inline specs).
+
+    With ``keep_tags=True`` the observational provenance tags
+    (``tenant``/``phase_index``) ride along as two extra tuple entries so a
+    frozen scenario sub-trace can still be attributed after thawing.  Tagged
+    tuples must never enter a fingerprint directly - hash
+    :func:`strip_request_tags` of them instead, so a tagged freeze stays
+    cache-compatible with the identical untagged trace.
+    """
+    if keep_tags:
+        return tuple(
+            (
+                io.kind.value,
+                io.offset_bytes,
+                io.size_bytes,
+                io.arrival_ns,
+                io.force_unit_access,
+                io.tenant,
+                io.phase_index,
+            )
+            for io in requests
+        )
     return tuple(
         (io.kind.value, io.offset_bytes, io.size_bytes, io.arrival_ns, io.force_unit_access)
         for io in requests
     )
 
 
+def strip_request_tags(frozen: Sequence[FrozenRequest]) -> Tuple[FrozenRequest, ...]:
+    """Drop the tag entries of tagged frozen tuples (identity on untagged)."""
+    return tuple(tuple(entry[:5]) for entry in frozen)
+
+
 def thaw_requests(frozen: Sequence[FrozenRequest]) -> List[IORequest]:
-    """Rebuild fresh request objects from :func:`freeze_requests` tuples."""
-    return [
-        IORequest(
+    """Rebuild fresh request objects from :func:`freeze_requests` tuples.
+
+    Accepts both the 5-entry untagged and the 7-entry tagged form.
+    """
+    requests: List[IORequest] = []
+    for entry in frozen:
+        kind, offset, size, arrival, fua = entry[:5]
+        io = IORequest(
             kind=IOKind(kind),
             offset_bytes=offset,
             size_bytes=size,
             arrival_ns=arrival,
             force_unit_access=fua,
         )
-        for kind, offset, size, arrival, fua in frozen
-    ]
+        if len(entry) > 5:
+            io.tenant = entry[5]
+            io.phase_index = entry[6]
+        requests.append(io)
+    return requests
 
 
 def build_generator(generator: str, params: Dict[str, Any]) -> List[IORequest]:

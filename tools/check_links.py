@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate relative links in the repo's markdown documentation.
+
+Scans README.md, ROADMAP.md, CHANGES.md and everything under docs/ for
+markdown links and image references, and checks that every *relative*
+target exists in the working tree.  Skipped on purpose:
+
+* absolute URLs (``http://``, ``https://``, ``mailto:`` ...),
+* pure in-page anchors (``#section``),
+* targets that resolve *outside* the repo root (e.g. the README CI
+  badge's ``../../actions/...`` path, which is a GitHub-side URL, not
+  a file).
+
+Anchors on relative links (``FILE.md#section``) are checked for the
+file part only.  Exit status is the number of broken links, so CI can
+run it bare.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Files and directories scanned for markdown links.
+DOC_SOURCES = ("README.md", "ROADMAP.md", "CHANGES.md", "docs")
+
+#: Inline links/images: [text](target) / ![alt](target).  Titles after the
+#: target ("... (file.md \"title\")") are split off later.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?[^()]*)\)")
+
+#: Autolinks and reference definitions: <http://...> / [ref]: target
+_REF_DEF_RE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://", "tel:")
+
+
+def iter_doc_files(root: Path = REPO_ROOT) -> Iterator[Path]:
+    """Yield every markdown file named by :data:`DOC_SOURCES`."""
+    for source in DOC_SOURCES:
+        path = root / source
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        elif path.is_file():
+            yield path
+
+
+def extract_links(text: str) -> List[str]:
+    """All link targets in ``text``, raw (schemes and anchors included)."""
+    targets = [match.group(1) for match in _LINK_RE.finditer(text)]
+    targets += [match.group(1) for match in _REF_DEF_RE.finditer(text)]
+    return targets
+
+
+def classify_link(doc: Path, target: str, root: Path = REPO_ROOT) -> Tuple[str, str]:
+    """Return ``(status, detail)`` for one link target of ``doc``.
+
+    ``status`` is ``"ok"``, ``"skipped"`` or ``"broken"``; ``detail``
+    says why (scheme, anchor-only, outside-repo, missing path...).
+    """
+    target = target.strip().strip("<>")
+    # Drop a markdown title suffix: (file.md "The title")
+    target = target.split(" ", 1)[0]
+    if not target:
+        return "skipped", "empty"
+    lowered = target.lower()
+    if lowered.startswith(_EXTERNAL_SCHEMES):
+        return "skipped", "external URL"
+    if target.startswith("#"):
+        return "skipped", "in-page anchor"
+    path_part = target.split("#", 1)[0]
+    if not path_part:
+        return "skipped", "in-page anchor"
+    if path_part.startswith("/"):
+        return "broken", "absolute filesystem path"
+    resolved = (doc.parent / path_part).resolve()
+    try:
+        resolved.relative_to(root)
+    except ValueError:
+        # e.g. the CI badge: ../../actions/... resolves above the repo,
+        # because it is a GitHub web URL relative to the repo page.
+        return "skipped", "resolves outside the repo"
+    if resolved.exists():
+        return "ok", str(resolved.relative_to(root))
+    return "broken", f"missing: {path_part}"
+
+
+def check_links(root: Path = REPO_ROOT) -> List[str]:
+    """Return one problem line per broken link under ``root``."""
+    problems: List[str] = []
+    checked = 0
+    for doc in iter_doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        for target in extract_links(text):
+            status, detail = classify_link(doc, target, root)
+            if status == "ok":
+                checked += 1
+            elif status == "broken":
+                problems.append(f"{doc.relative_to(root)}: {target!r} ({detail})")
+    print(f"checked {checked} relative links, {len(problems)} broken")
+    return problems
+
+
+def main() -> int:
+    problems = check_links()
+    for problem in problems:
+        print(f"BROKEN {problem}", file=sys.stderr)
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
